@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's figures and tables on the
+// simulated cluster.
+//
+// Usage:
+//
+//	experiments -fig all                 # every figure + ablations
+//	experiments -fig fig6,fig9           # specific experiments
+//	experiments -workers 60 -lps 128     # paper-scale topology
+//	experiments -csv out.csv             # machine-readable output
+//
+// Cells report committed events per virtual second and efficiency, the
+// metrics of the paper's evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "experiment IDs, comma separated, or 'all' ("+strings.Join(harness.IDs(), ", ")+")")
+		workers  = flag.Int("workers", 8, "worker threads per node (paper: 60)")
+		lps      = flag.Int("lps", 32, "LPs per worker (paper: 128)")
+		end      = flag.Float64("end", 40, "simulation end time (virtual time units)")
+		interval = flag.Int("interval", 0, "GVT interval override in 16-event batches (0: per-figure default, 8 for figs 3-4, 4 otherwise)")
+		seed     = flag.Uint64("seed", 1, "master RNG seed")
+		nodes    = flag.String("nodes", "1,2,4,8", "node counts for weak-scaling sweeps")
+		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		mdPath   = flag.String("md", "", "also write results as markdown tables to this file")
+		verbose  = flag.Bool("v", false, "print each run as it completes")
+	)
+	flag.Parse()
+
+	opt := harness.Options{
+		WorkersPerNode: *workers,
+		LPsPerWorker:   *lps,
+		EndTime:        vtime.Time(*end),
+		GVTInterval:    *interval,
+		Seed:           *seed,
+		CAThreshold:    *thresh,
+		Verbose:        *verbose,
+	}
+	for _, part := range strings.Split(*nodes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: bad -nodes value %q\n", part)
+			os.Exit(2)
+		}
+		opt.NodeCounts = append(opt.NodeCounts, n)
+	}
+
+	var todo []harness.Experiment
+	if *fig == "all" {
+		todo = harness.Registry()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have: %s)\n",
+					id, strings.Join(harness.IDs(), ", "))
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	var csv, md *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		md = f
+	}
+
+	fmt.Printf("topology: %d workers/node, %d LPs/worker; end=%v seed=%d nodes=%v\n\n",
+		opt.WorkersPerNode, opt.LPsPerWorker, opt.EndTime, opt.Seed, opt.NodeCounts)
+	for _, e := range todo {
+		table := e.Run(opt, os.Stdout)
+		table.Render(os.Stdout)
+		if csv != nil {
+			table.CSV(csv)
+		}
+		if md != nil {
+			table.Markdown(md)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command phold runs one PHOLD configuration on the simulated cluster and
+// prints the run's statistics — the quickest way to poke at the engine.
+//
+// Examples:
+//
+//	phold                                  # defaults: 2 nodes, Mattern
+//	phold -nodes 8 -gvt barrier -scenario comm
+//	phold -gvt ca -scenario mixed -mix 10,15 -v
+//	phold -seq                             # sequential baseline + oracle check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/phold"
+	"repro/internal/seq"
+	tracepkg "repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 2, "cluster nodes")
+		workers  = flag.Int("workers", 8, "worker threads per node")
+		lps      = flag.Int("lps", 32, "LPs per worker")
+		gvt      = flag.String("gvt", "mattern", "GVT algorithm: barrier | mattern | ca | samadi")
+		comm     = flag.String("comm", "dedicated", "comm-thread mode: dedicated | combined | shared")
+		scenario = flag.String("scenario", "comp", "workload: comp | comm | mixed")
+		mix      = flag.String("mix", "10,15", "mixed model X,Y percentages")
+		end      = flag.Float64("end", 40, "simulation end time")
+		interval = flag.Int("interval", 4, "GVT interval, in 16-event batches per worker")
+		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
+		seed     = flag.Uint64("seed", 1, "master RNG seed")
+		queue    = flag.String("queue", "heap", "pending set: heap | calendar")
+		seqCheck = flag.Bool("seq", false, "also run the sequential oracle and verify the commit stream")
+		traceTo  = flag.String("traceout", "", "write a binary run trace (committed events + GVT rounds) to this file")
+		verbose  = flag.Bool("v", false, "print per-GVT-round trace")
+	)
+	flag.Parse()
+
+	top := cluster.Topology{Nodes: *nodes, WorkersPerNode: *workers, LPsPerWorker: *lps}
+
+	var kind core.GVTKind
+	switch *gvt {
+	case "barrier":
+		kind = core.GVTBarrier
+	case "mattern":
+		kind = core.GVTMattern
+	case "ca", "ca-gvt", "cagvt":
+		kind = core.GVTControlled
+	case "samadi":
+		kind = core.GVTSamadi
+	default:
+		fail("unknown -gvt %q", *gvt)
+	}
+	var cm core.CommMode
+	switch *comm {
+	case "dedicated":
+		cm = core.CommDedicated
+	case "combined":
+		cm = core.CommCombined
+	case "shared":
+		cm = core.CommShared
+	default:
+		fail("unknown -comm %q", *comm)
+	}
+
+	params := phold.Params{Topology: top}
+	comp, commPh := phold.ComputationDominated(), phold.CommunicationDominated()
+	if *nodes == 1 {
+		comp.RemotePct, commPh.RemotePct = 0, 0
+	}
+	switch *scenario {
+	case "comp":
+		params.Base = comp
+	case "comm":
+		params.Base = commPh
+	case "mixed":
+		parts := strings.Split(*mix, ",")
+		if len(parts) != 2 {
+			fail("-mix wants X,Y")
+		}
+		x, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		y, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			fail("bad -mix %q", *mix)
+		}
+		params.Base = comp
+		params.Mixed = &phold.MixedModel{
+			Comm: commPh, CompFrac: x, CommFrac: y, EndTime: vtime.Time(*end),
+		}
+	default:
+		fail("unknown -scenario %q", *scenario)
+	}
+
+	cfg := core.Config{
+		Topology:    top,
+		GVT:         kind,
+		GVTInterval: *interval,
+		CAThreshold: *thresh,
+		Comm:        cm,
+		EndTime:     vtime.Time(*end),
+		Seed:        *seed,
+		QueueKind:   *queue,
+		Model:       phold.New(params),
+	}
+	if err := func() error { c := cfg; c.Defaults(); return c.Validate() }(); err != nil {
+		fail("%v", err)
+	}
+
+	var traceFile *os.File
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		traceFile = f
+		cfg.Trace = tracepkg.NewWriter(f)
+	}
+
+	eng := core.New(cfg)
+	eng.TraceRounds = *verbose
+	r, err := eng.Run()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("phold: %d nodes x %d workers x %d LPs, %v GVT, %v comm, %s scenario\n",
+		*nodes, *workers, *lps, kind, cm, *scenario)
+	fmt.Println(r)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Flush(); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+		fmt.Printf("trace: wrote %d commit and %d round records to %s\n",
+			cfg.Trace.Commits, cfg.Trace.Rounds, *traceTo)
+	}
+	if *verbose {
+		fmt.Println("\nGVT rounds:")
+		for _, tr := range eng.RoundTraces() {
+			mode := "async"
+			if tr.Sync {
+				mode = "SYNC"
+			}
+			fmt.Printf("  #%3d at %-12v gvt=%-10.4g eff=%5.1f%% %s\n",
+				tr.Round, tr.At, tr.GVT, 100*tr.Efficiency, mode)
+		}
+	}
+
+	if *seqCheck {
+		ref := seq.New(cfg.Model, top.TotalLPs(), cfg.EndTime, cfg.Seed).Run()
+		fmt.Printf("\nsequential oracle: %d events, checksum %x\n", ref.Processed, ref.Checksum)
+		if ref.Checksum == r.CommitChecksum && ref.Processed == r.Workers.Committed {
+			fmt.Println("oracle check: OK — parallel run committed the identical event stream")
+		} else {
+			fmt.Println("oracle check: MISMATCH — this is an engine bug")
+			os.Exit(1)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "phold: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,142 @@
+// Command tracestat analyzes a binary run trace produced with
+// `phold -traceout` (or any engine run with a trace writer): GVT
+// progress, commit-rate timeline, per-LP activity spread, and CA-GVT
+// mode switching.
+//
+//	go run ./cmd/phold -gvt ca -scenario mixed -traceout run.trace
+//	go run ./cmd/tracestat run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	buckets := flag.Int("buckets", 20, "timeline resolution (virtual-time buckets)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-buckets n] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var (
+		commits []trace.Commit
+		rounds  []trace.Round
+	)
+	r := trace.NewReader(f)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(1)
+		}
+		switch v := rec.(type) {
+		case trace.Commit:
+			commits = append(commits, v)
+		case trace.Round:
+			rounds = append(rounds, v)
+		}
+	}
+	if len(commits) == 0 {
+		fmt.Println("no committed events in trace")
+		return
+	}
+
+	maxT := 0.0
+	perLP := map[uint32]int64{}
+	for _, c := range commits {
+		if c.T > maxT {
+			maxT = c.T
+		}
+		perLP[c.LP]++
+	}
+
+	fmt.Printf("trace: %d committed events over %d LPs, %d GVT rounds, virtual time span [0, %.4g]\n",
+		len(commits), len(perLP), len(rounds), maxT)
+
+	// Commit timeline by virtual time.
+	fmt.Println("\ncommit timeline (virtual time buckets):")
+	hist := make([]int, *buckets)
+	for _, c := range commits {
+		i := int(c.T / maxT * float64(*buckets))
+		if i >= *buckets {
+			i = *buckets - 1
+		}
+		hist[i]++
+	}
+	peak := 0
+	for _, h := range hist {
+		if h > peak {
+			peak = h
+		}
+	}
+	for i, h := range hist {
+		bar := ""
+		if peak > 0 {
+			bar = repeat('#', h*50/peak)
+		}
+		fmt.Printf("  [%6.4g, %6.4g) %7d %s\n",
+			float64(i)*maxT/float64(*buckets), float64(i+1)*maxT/float64(*buckets), h, bar)
+	}
+
+	// Per-LP spread.
+	counts := make([]int64, 0, len(perLP))
+	var total int64
+	for _, c := range perLP {
+		counts = append(counts, c)
+		total += c
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	fmt.Printf("\nper-LP committed events: min=%d p50=%d p90=%d max=%d mean=%.1f\n",
+		counts[0], counts[len(counts)/2], counts[len(counts)*9/10],
+		counts[len(counts)-1], float64(total)/float64(len(counts)))
+
+	if len(rounds) > 0 {
+		sync := 0
+		for _, rd := range rounds {
+			if rd.Sync {
+				sync++
+			}
+		}
+		last := rounds[len(rounds)-1]
+		fmt.Printf("\nGVT rounds: %d (%d synchronous), final GVT %.6g at %.3fms virtual\n",
+			len(rounds), sync, last.GVT, float64(last.AtNanos)/1e6)
+		fmt.Println("\nGVT progress (every ~10th round):")
+		stride := len(rounds)/10 + 1
+		for i := 0; i < len(rounds); i += stride {
+			rd := rounds[i]
+			mode := "async"
+			if rd.Sync {
+				mode = "SYNC"
+			}
+			fmt.Printf("  round %4d: gvt=%-10.4g eff=%5.1f%% %s\n",
+				rd.Round, rd.GVT, 100*rd.Efficiency, mode)
+		}
+	}
+}
+
+func repeat(c byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

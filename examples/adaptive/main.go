@@ -1,0 +1,85 @@
+// Adaptive: watch CA-GVT switch between asynchronous and synchronous
+// operation as a mixed workload alternates between computation-dominated
+// and communication-dominated phases (the paper's §6 behaviour: it
+// "detects the lower efficiency ... switches to the synchronous mode",
+// then switches back when efficiency recovers).
+//
+// The example runs the paper's 10-15 mixed model under all three GVT
+// algorithms, prints CA-GVT's per-round mode trace, and compares rates.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/phold"
+	"repro/internal/vtime"
+)
+
+func main() {
+	top := cluster.Topology{Nodes: 4, WorkersPerNode: 8, LPsPerWorker: 32}
+	end := vtime.Time(60)
+	model := phold.New(phold.Params{
+		Topology: top,
+		Base:     phold.ComputationDominated(),
+		Mixed: &phold.MixedModel{
+			Comm:     phold.CommunicationDominated(),
+			CompFrac: 10, CommFrac: 15, EndTime: end,
+		},
+	})
+
+	base := core.Config{
+		Topology:    top,
+		GVTInterval: 25,
+		CAThreshold: 0.80,
+		Comm:        core.CommDedicated,
+		EndTime:     end,
+		Seed:        5,
+		Model:       model,
+	}
+
+	fmt.Println("mixed 10-15 PHOLD model,", top.Nodes, "nodes: committed event rate by algorithm")
+	rates := map[core.GVTKind]float64{}
+	for _, g := range []core.GVTKind{core.GVTMattern, core.GVTBarrier, core.GVTControlled} {
+		cfg := base
+		cfg.GVT = g
+		eng := core.New(cfg)
+		eng.TraceRounds = g == core.GVTControlled
+		r, err := eng.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates[g] = r.EventRate()
+		fmt.Printf("  %-8v rate=%.4g ev/s efficiency=%.1f%% rollbacks=%d sync-rounds=%d/%d\n",
+			g, r.EventRate(), 100*r.Efficiency(), r.Workers.Rollbacks, r.SyncRounds, r.GVTRounds)
+
+		if g == core.GVTControlled {
+			fmt.Println("\n  CA-GVT mode trace (async '.' / sync 'S' per GVT round):")
+			line := "  "
+			for _, tr := range eng.RoundTraces() {
+				if tr.Sync {
+					line += "S"
+				} else {
+					line += "."
+				}
+				if len(line) >= 66 {
+					fmt.Println(line)
+					line = "  "
+				}
+			}
+			if len(line) > 2 {
+				fmt.Println(line)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("CA-GVT vs Mattern: %+.1f%%   CA-GVT vs Barrier: %+.1f%%\n",
+		100*(rates[core.GVTControlled]/rates[core.GVTMattern]-1),
+		100*(rates[core.GVTControlled]/rates[core.GVTBarrier]-1))
+	fmt.Println("(the paper reports CA-GVT ahead of both on mixed models, by ~7-8%)")
+}

@@ -1,0 +1,143 @@
+// Package cluster describes the simulated machine: how many nodes, how
+// many worker threads per node, how LPs map onto workers (the paper's
+// placement: consecutive blocks of LPs per thread, consecutive blocks of
+// threads per node), and the per-operation CPU cost model of a KNL-class
+// core that the Time Warp engine charges against virtual time.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// Topology is the static shape of the simulated cluster.
+type Topology struct {
+	Nodes          int // cluster nodes (MPI ranks)
+	WorkersPerNode int // simulation threads per node (paper: 60)
+	LPsPerWorker   int // logical processes per thread (paper: 128)
+}
+
+// Validate checks the topology for sanity.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.WorkersPerNode <= 0 || t.LPsPerWorker <= 0 {
+		return fmt.Errorf("cluster: non-positive topology %+v", t)
+	}
+	return nil
+}
+
+// TotalWorkers returns the number of worker threads in the cluster.
+func (t Topology) TotalWorkers() int { return t.Nodes * t.WorkersPerNode }
+
+// TotalLPs returns the number of LPs in the cluster.
+func (t Topology) TotalLPs() int { return t.TotalWorkers() * t.LPsPerWorker }
+
+// NodeOf returns the node hosting lp.
+func (t Topology) NodeOf(lp event.LPID) int {
+	return int(lp) / (t.WorkersPerNode * t.LPsPerWorker)
+}
+
+// WorkerOf returns (node, worker-within-node) hosting lp.
+func (t Topology) WorkerOf(lp event.LPID) (node, worker int) {
+	w := int(lp) / t.LPsPerWorker
+	return w / t.WorkersPerNode, w % t.WorkersPerNode
+}
+
+// GlobalWorkerOf returns the cluster-wide worker index hosting lp.
+func (t Topology) GlobalWorkerOf(lp event.LPID) int {
+	return int(lp) / t.LPsPerWorker
+}
+
+// FirstLP returns the first LP of (node, worker).
+func (t Topology) FirstLP(node, worker int) event.LPID {
+	return event.LPID((node*t.WorkersPerNode + worker) * t.LPsPerWorker)
+}
+
+// Class returns the locality class of a message from src to dst.
+func (t Topology) Class(src, dst event.LPID) event.Class {
+	if src == dst {
+		return event.Local
+	}
+	sn, sw := t.WorkerOf(src)
+	dn, dw := t.WorkerOf(dst)
+	if sn != dn {
+		return event.Remote
+	}
+	if sw != dw {
+		return event.Regional
+	}
+	// Same worker, different LP: still intra-thread, no interconnect.
+	return event.Local
+}
+
+// CostModel is the per-operation CPU cost model for a simulated worker
+// thread, calibrated to a ~1.3 GHz KNL core. Every cost is charged as
+// virtual time via sim.Proc.Advance.
+type CostModel struct {
+	// Flop is the time of one EPG work unit ("approximately one FLOP",
+	// paper §2). KNL scalar FLOP at 1.3 GHz ≈ 0.77 ns; we round to 1 ns.
+	Flop sim.Time
+	// EventOverhead is the fixed bookkeeping per processed event (queue
+	// pop, history append, scheduling the next event).
+	EventOverhead sim.Time
+	// StateSave is the cost of one LP state snapshot (charged per
+	// checkpoint; see core.Config.CheckpointInterval).
+	StateSave sim.Time
+	// QueueOp is one pending-set push or annihilation probe.
+	QueueOp sim.Time
+	// LocalSend is an LP sending to itself (no interconnect).
+	LocalSend sim.Time
+	// RegionalSend is the shared-memory + lock path to another core.
+	RegionalSend sim.Time
+	// RegionalLockHold is the critical-section entry cost of a mailbox.
+	RegionalLockHold sim.Time
+	// RemoteEnqueue is writing a remote message into the node's global
+	// outbound structure (read later by the MPI thread).
+	RemoteEnqueue sim.Time
+	// InboxDrainPerMsg is consuming one message from the worker's mailbox.
+	InboxDrainPerMsg sim.Time
+	// RollbackPerEvent is undoing one processed event (state restore +
+	// anti-message generation).
+	RollbackPerEvent sim.Time
+	// FossilPerEvent is freeing one committed history entry.
+	FossilPerEvent sim.Time
+	// GVTBookkeeping is one update of GVT counters / control message.
+	GVTBookkeeping sim.Time
+	// EffCompute is CA-GVT's per-round efficiency computation (Algorithm 3
+	// line 31) — the overhead that makes CA-GVT trail pure Mattern by a few
+	// percent on computation-dominated models (paper §6).
+	EffCompute sim.Time
+	// IdlePoll is one pass of a worker's main loop that found nothing to
+	// do (prevents zero-time spinning and models the polling cost).
+	IdlePoll sim.Time
+	// BarrierEntry is the CPU cost of one pthread-barrier entry.
+	BarrierEntry sim.Time
+}
+
+// KNLDefaults returns the calibrated default cost model.
+func KNLDefaults() CostModel {
+	return CostModel{
+		Flop:             1 * sim.Nanosecond,
+		EventOverhead:    300 * sim.Nanosecond,
+		StateSave:        200 * sim.Nanosecond,
+		QueueOp:          150 * sim.Nanosecond,
+		LocalSend:        100 * sim.Nanosecond,
+		RegionalSend:     250 * sim.Nanosecond,
+		RegionalLockHold: 120 * sim.Nanosecond,
+		RemoteEnqueue:    250 * sim.Nanosecond,
+		InboxDrainPerMsg: 120 * sim.Nanosecond,
+		RollbackPerEvent: 450 * sim.Nanosecond,
+		FossilPerEvent:   60 * sim.Nanosecond,
+		GVTBookkeeping:   200 * sim.Nanosecond,
+		EffCompute:       1500 * sim.Nanosecond,
+		IdlePoll:         150 * sim.Nanosecond,
+		BarrierEntry:     300 * sim.Nanosecond,
+	}
+}
+
+// EPGCost returns the virtual CPU time of processing one event with the
+// given event processing granularity.
+func (c CostModel) EPGCost(epg int) sim.Time {
+	return sim.Time(epg) * c.Flop
+}

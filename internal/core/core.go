@@ -1,0 +1,374 @@
+// Package core implements the optimistic (Time Warp) parallel discrete
+// event simulation engine the paper runs its experiments on: a
+// multithreaded ROSS-style simulator with per-worker pending event sets,
+// state-saving rollback, anti-messages, fossil collection, a dedicated (or
+// combined) MPI communication thread per node, and the three pluggable GVT
+// algorithms of the paper — Barrier (Algorithm 1), Mattern (Algorithm 2)
+// and Controlled Asynchronous GVT (Algorithm 3).
+//
+// The engine's threads are processes of the internal/sim kernel, so a run
+// is a deterministic simulation of the paper's cluster: performance is
+// reported in virtual wall-clock time.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// GVTKind selects the GVT algorithm.
+type GVTKind int
+
+const (
+	// GVTBarrier is the synchronous two-level barrier algorithm
+	// (paper Algorithm 1).
+	GVTBarrier GVTKind = iota
+	// GVTMattern is the asynchronous algorithm adapted from Mattern
+	// (paper Algorithm 2).
+	GVTMattern
+	// GVTControlled is CA-GVT: Mattern plus conditional synchronization
+	// driven by observed efficiency (paper Algorithm 3).
+	GVTControlled
+	// GVTSamadi is the acknowledgement-based algorithm of Samadi (1985),
+	// cited in the paper's related work: ack traffic keeps every in-transit
+	// message covered by its sender, so GVT needs a single reduction and
+	// no transit draining (implemented here as an extension baseline).
+	GVTSamadi
+)
+
+func (k GVTKind) String() string {
+	switch k {
+	case GVTBarrier:
+		return "barrier"
+	case GVTMattern:
+		return "mattern"
+	case GVTControlled:
+		return "ca-gvt"
+	case GVTSamadi:
+		return "samadi"
+	}
+	return fmt.Sprintf("GVTKind(%d)", int(k))
+}
+
+// CommMode selects how MPI communication is serviced within a node
+// (the paper's first contribution, §4 "Dedicated MPI Thread").
+type CommMode int
+
+const (
+	// CommDedicated gives each node one thread exclusively servicing MPI;
+	// it performs no event processing (the paper's proposal).
+	CommDedicated CommMode = iota
+	// CommCombined makes worker 0 service all MPI in addition to normal
+	// event processing (the baseline from [31] the paper compares against).
+	CommCombined
+	// CommShared makes every worker service MPI, contending on the MPI
+	// lock (the §1-motivating worst case; an ablation here).
+	CommShared
+)
+
+func (m CommMode) String() string {
+	switch m {
+	case CommDedicated:
+		return "dedicated"
+	case CommCombined:
+		return "combined"
+	case CommShared:
+		return "shared"
+	}
+	return fmt.Sprintf("CommMode(%d)", int(m))
+}
+
+// Model is a logical process's behaviour. One instance exists per LP.
+// Implementations must be deterministic given the context's RNG and must
+// confine all mutable state to what Snapshot/Restore capture.
+type Model interface {
+	// Init runs before the simulation starts; it seeds initial events via
+	// ctx.Send (delays are absolute times here, since Now() is 0).
+	Init(ctx Context)
+	// OnEvent processes one event. It may examine ev.Kind and ev.Data and
+	// send new events with ctx.Send. The engine has already advanced the
+	// LP's virtual time to ev's receive time.
+	OnEvent(ctx Context, ev *event.Event)
+	// Snapshot returns an immutable copy of the model's state.
+	Snapshot() any
+	// Restore rewinds the model to a state previously returned by Snapshot.
+	Restore(snap any)
+}
+
+// Context is the API a model uses while handling an event.
+type Context interface {
+	// Self returns the LP being simulated.
+	Self() event.LPID
+	// Now returns the LP's current virtual time.
+	Now() vtime.Time
+	// Send schedules an event for dst at Now()+delay. delay must be >= 0.
+	Send(dst event.LPID, delay vtime.Time, kind uint16, data []byte)
+	// RNG returns the LP's private random stream (rolled back with state).
+	RNG() *rng.Stream
+	// NumLPs returns the total LP count.
+	NumLPs() int
+	// Spin charges the given number of EPG work units of CPU time
+	// (one unit ≈ one FLOP).
+	Spin(units int)
+}
+
+// ModelFactory builds the model for each LP.
+type ModelFactory func(lp event.LPID, total int) Model
+
+// Config parameterizes a run.
+type Config struct {
+	Topology cluster.Topology
+	Cost     cluster.CostModel
+	Net      fabric.Params
+	MPICosts mpi.Costs
+
+	GVT         GVTKind
+	GVTInterval int     // main-loop passes between GVT rounds (paper: 25/50)
+	CAThreshold float64 // CA-GVT efficiency threshold (paper: 0.80)
+
+	Comm      CommMode
+	EndTime   vtime.Time
+	Seed      uint64
+	QueueKind string // pending-set implementation: "heap" (default) | "calendar"
+	BatchSize int    // events processed per main-loop pass (default 16, as ROSS mbatch)
+
+	// CheckpointInterval is the state-saving period: a snapshot is taken
+	// before every k-th processed event of an LP (1 = copy state every
+	// event, the ROSS default here). With k > 1, rollback restores the
+	// nearest earlier snapshot and coast-forwards (re-executes events with
+	// sends suppressed) up to the rollback target — trading snapshot cost
+	// for replay cost.
+	CheckpointInterval int
+
+	// MaxUncommitted bounds optimism the way ROSS's fixed event pool does
+	// (§3: "eventually all memory would be consumed"): a worker whose
+	// uncommitted processed-event history reaches this bound stops
+	// processing until fossil collection frees room. Default: 8x the
+	// worker's LP count. Negative disables the bound.
+	MaxUncommitted int
+
+	Model ModelFactory
+
+	// Trace, when non-nil, receives a record for every committed event and
+	// every completed GVT round (ROSS-style event tracing). The caller
+	// flushes it after Run.
+	Trace *trace.Writer
+}
+
+// Defaults fills zero-valued fields with paper-flavoured defaults.
+func (c *Config) Defaults() {
+	if c.Cost == (cluster.CostModel{}) {
+		c.Cost = cluster.KNLDefaults()
+	}
+	if c.Net == (fabric.Params{}) {
+		c.Net = fabric.EthernetDefaults()
+	}
+	if c.MPICosts == (mpi.Costs{}) {
+		c.MPICosts = mpi.DefaultCosts()
+	}
+	if c.GVTInterval == 0 {
+		c.GVTInterval = 25
+	}
+	if c.CAThreshold == 0 {
+		c.CAThreshold = 0.80
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.QueueKind == "" {
+		c.QueueKind = "heap"
+	}
+	if c.MaxUncommitted == 0 {
+		c.MaxUncommitted = 8 * c.Topology.LPsPerWorker
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 1
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Model == nil {
+		return fmt.Errorf("core: Config.Model is nil")
+	}
+	if c.EndTime <= 0 {
+		return fmt.Errorf("core: EndTime must be positive, got %v", c.EndTime)
+	}
+	if c.GVTInterval < 2 {
+		return fmt.Errorf("core: GVTInterval must be >= 2, got %d", c.GVTInterval)
+	}
+	if c.CAThreshold < 0 || c.CAThreshold > 1 {
+		return fmt.Errorf("core: CAThreshold must be in [0,1], got %v", c.CAThreshold)
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("core: CheckpointInterval must be positive, got %d", c.CheckpointInterval)
+	}
+	return nil
+}
+
+// Engine is one configured simulation run.
+type Engine struct {
+	cfg   Config
+	env   *sim.Env
+	world *mpi.World
+	nodes []*node
+
+	// matchSeq hands out cluster-unique anti-message match IDs. It lives
+	// outside simulated state: IDs are never reused, never rolled back.
+	matchSeq uint64
+
+	// run-level results
+	finishedAt  sim.Time
+	finalGVT    vtime.Time
+	gvtRounds   int64
+	syncRounds  int64
+	disparity   stats.Disparity
+	roundTraces []RoundTrace
+
+	// TraceRounds enables per-round trace collection (RoundTraces).
+	TraceRounds bool
+}
+
+// RoundTrace records one completed GVT round (for tests and the adaptive
+// example: it shows CA-GVT switching modes).
+type RoundTrace struct {
+	Round      int64
+	GVT        vtime.Time
+	At         sim.Time
+	Sync       bool    // CA-GVT executed this round with barriers
+	Efficiency float64 // cumulative efficiency observed at round end
+}
+
+// New builds an engine. It panics on invalid configuration (construction
+// is programmer-controlled; see Config.Validate for checking first).
+func New(cfg Config) *Engine {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := &Engine{cfg: cfg, env: sim.NewEnv()}
+	eng.env.LivelockLimit = 500_000_000
+	eng.world = mpi.NewWorld(eng.env, cfg.Topology.Nodes, cfg.Net, cfg.MPICosts)
+	// LPs are created in global id order, so one substream sequence hands
+	// every LP the stream NewAt(seed, id) in O(1) jumps each.
+	streams := rng.NewSequence(cfg.Seed)
+	for n := 0; n < cfg.Topology.Nodes; n++ {
+		eng.nodes = append(eng.nodes, newNode(eng, n, streams))
+	}
+	// Seed initial events: models Init before virtual time starts.
+	for _, nd := range eng.nodes {
+		for _, w := range nd.workers {
+			for _, l := range w.lps {
+				l.init(w)
+			}
+		}
+	}
+	return eng
+}
+
+// Env exposes the virtual-time environment (read-only use in tests).
+func (e *Engine) Env() *sim.Env { return e.env }
+
+// RoundTraces returns per-round traces when TraceRounds was set.
+func (e *Engine) RoundTraces() []RoundTrace { return e.roundTraces }
+
+// nextMatchID returns a cluster-unique anti-message identity.
+func (e *Engine) nextMatchID() uint64 {
+	e.matchSeq++
+	return e.matchSeq
+}
+
+// Run executes the simulation to completion and returns its metrics.
+func (e *Engine) Run() (*stats.Run, error) {
+	for _, nd := range e.nodes {
+		nd.spawn()
+	}
+	if err := e.env.Run(); err != nil {
+		return nil, err
+	}
+	return e.collect(), nil
+}
+
+// collect aggregates the final statistics.
+func (e *Engine) collect() *stats.Run {
+	r := &stats.Run{
+		WallTime:   e.finishedAt,
+		GVTRounds:  e.gvtRounds,
+		SyncRounds: e.syncRounds,
+		FinalGVT:   e.finalGVT,
+		Disparity:  e.disparity.Mean(),
+	}
+	var sum uint64
+	for _, nd := range e.nodes {
+		for _, w := range nd.workers {
+			r.Workers.Add(&w.st)
+			for _, l := range w.lps {
+				sum += uint64(l.checksum)
+			}
+		}
+	}
+	r.CommitChecksum = sum
+	f := e.world.Fabric()
+	r.MPIMessages = f.MessagesSent
+	r.MPIBytes = f.BytesSent
+	return r
+}
+
+// onRoundComplete is invoked (outside simulated cost) by the GVT master
+// when a round finishes; it records metrics and the disparity sample.
+func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
+	e.gvtRounds++
+	if sync {
+		e.syncRounds++
+	}
+	e.finalGVT = gvt
+	e.finishedAt = e.env.Now()
+	lvts := make([]float64, 0, e.cfg.Topology.TotalWorkers())
+	for _, nd := range e.nodes {
+		for _, w := range nd.workers {
+			lvts = append(lvts, w.localMinView())
+		}
+	}
+	e.disparity.Observe(lvts)
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Round(trace.Round{
+			Round: e.gvtRounds, GVT: gvt, AtNanos: int64(e.env.Now()),
+			Sync: sync, Efficiency: eff,
+		})
+	}
+	if e.TraceRounds {
+		e.roundTraces = append(e.roundTraces, RoundTrace{
+			Round: e.gvtRounds, GVT: gvt, At: e.env.Now(), Sync: sync, Efficiency: eff,
+		})
+	}
+}
+
+// clusterEfficiency returns cumulative committed-so-far efficiency, the
+// quantity CA-GVT thresholds on. Committed-so-far is approximated as
+// processed − rolled-back, which the paper's computeEfficiency() also
+// observes (events not yet reverted count as committed "so far").
+func (e *Engine) clusterEfficiency() float64 {
+	var processed, rolled int64
+	for _, nd := range e.nodes {
+		for _, w := range nd.workers {
+			processed += w.st.Processed
+			rolled += w.st.RolledBack
+		}
+	}
+	if processed == 0 {
+		return 1
+	}
+	return float64(processed-rolled) / float64(processed)
+}

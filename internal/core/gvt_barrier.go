@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// Barrier GVT (paper Algorithm 1, "stop-synchronize-and-go").
+//
+// Each worker publishes msgCount = sent − received, meets the node-level
+// pthread barrier, the MPI-responsible participant sums the node counts
+// and allreduces them across nodes, and everyone loops until the cluster
+// in-transit total is zero. Then local minima are reduced the same way
+// into the new GVT. Workers do no event processing inside the round; the
+// idle time parked at the barriers is the algorithm's cost (Figure 1).
+
+// barrierPoll is the worker-side driver, called once per main-loop pass.
+func (w *worker) barrierPoll() {
+	if w.passes < w.eng.cfg.GVTInterval && !w.node.gvtReq {
+		return
+	}
+	w.node.gvtReq = true
+	w.passes = 0
+	w.barrierWorkerRound()
+}
+
+// barrierWorkerRound executes one synchronous GVT round from the worker's
+// perspective. The comm role (the dedicated MPI thread, or worker 0 in
+// combined/shared modes) performs the MPI reductions between the two node
+// barriers of each iteration.
+func (w *worker) barrierWorkerRound() {
+	n := w.node
+	p := w.proc
+	cost := &w.eng.cfg.Cost
+	st := &workerBarrierStats{wait: &w.st.BarrierWait}
+	comm := w.commRole() == commPumpAndGVT
+	gvtStart := p.Now()
+
+	for {
+		// ReadMessages(): keep receiving so in-transit counts can drain.
+		w.drainInbox()
+		n.msgCount[w.idx] = w.msgSent - w.msgRecv
+		p.Advance(cost.BarrierEntry)
+		n.barrierWait(p, n.gvtBar, st)
+		if comm {
+			n.commBarrierStep(p)
+		}
+		n.barrierWait(p, n.gvtBar2, st)
+		if n.transit == 0 {
+			break
+		}
+		if comm {
+			// Keep remote messages moving or the transit count can never
+			// reach zero.
+			n.pump(p)
+		}
+	}
+
+	// All in-transit messages received: reduce local minima into GVT.
+	n.localMin[w.idx] = w.localMin()
+	p.Advance(cost.BarrierEntry)
+	n.barrierWait(p, n.gvtBar, st)
+	if comm {
+		n.commBarrierFinish(p)
+	}
+	n.barrierWait(p, n.gvtBar2, st)
+	w.applyGVT(n.nodeGVT)
+	w.st.GVTTime += p.Now() - gvtStart
+}
+
+// commBarrierRound is the dedicated MPI thread's side of a round.
+func (n *node) commBarrierRound(p *sim.Proc) {
+	for {
+		n.barrierWait(p, n.gvtBar, nil)
+		n.commBarrierStep(p)
+		n.barrierWait(p, n.gvtBar2, nil)
+		if n.transit == 0 {
+			break
+		}
+		n.pump(p)
+	}
+	n.barrierWait(p, n.gvtBar, nil)
+	n.commBarrierFinish(p)
+	n.barrierWait(p, n.gvtBar2, nil)
+}
+
+// commBarrierStep sums the node's in-transit counts and allreduces them
+// across nodes (Algorithm 1 lines 5–7).
+func (n *node) commBarrierStep(p *sim.Proc) {
+	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	var sum int64
+	for _, c := range n.msgCount {
+		sum += c
+	}
+	n.transit = n.rank.AllreduceSum(p, sum)
+}
+
+// commBarrierFinish reduces node minima into the cluster GVT (lines
+// 10–12) and publishes it. It also retires the round request: workers are
+// parked at the exit barrier at this point, so no new round can race it.
+func (n *node) commBarrierFinish(p *sim.Proc) {
+	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	min := vtime.Inf
+	for _, v := range n.localMin {
+		if v < min {
+			min = v
+		}
+	}
+	n.nodeGVT = n.rank.AllreduceMin(p, min)
+	n.gvtReq = false
+	if n.id == 0 {
+		n.eng.onRoundComplete(n.nodeGVT, false, n.eng.clusterEfficiency())
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// Mattern's asynchronous GVT (paper Algorithm 2) and Controlled
+// Asynchronous GVT (Algorithm 3).
+//
+// Two kinds of control message are used, as in the paper: a shared-memory
+// structure per node (nodeCM) that workers accumulate into, and an MPI
+// token (gvtToken) that circulates in a ring of nodes. A round has three
+// token phases: A accumulates in-flight white-message counts (repeating
+// laps until the cumulative total is zero), B reduces each node's minimum
+// unprocessed time and minimum red send stamp, and C broadcasts the new
+// GVT (plus, for CA-GVT, the next round's synchronization flag).
+//
+// Workers keep processing events throughout — the asynchrony that wins on
+// computation-dominated workloads. CA-GVT adds three synchronization
+// points (Algorithm 3 lines 4, 14 and 30) when the observed efficiency of
+// the previous round fell below the threshold; the first and last align
+// the whole cluster (node barrier + MPI barrier), the middle one aligns
+// each node's workers (the cross-node alignment there is provided by the
+// token protocol itself, which avoids a circular wait with token B).
+
+// Node CM phases.
+const (
+	phOpen      = iota // accepting red transitions for the current round
+	phWhiteDone        // no white messages remain in flight cluster-wide
+	phGVTReady         // the round's GVT is published
+)
+
+// Worker-side phases.
+const (
+	wIdle = iota // white, counting passes until the next round
+	wRed         // flushed counters, waiting for phWhiteDone
+	wDone        // contributed minima, waiting for phGVTReady
+)
+
+// Ring token phases.
+const (
+	tokWhite  = iota // phase A: accumulate white counts
+	tokReduce        // phase B: reduce minima
+	tokGVT           // phase C: broadcast GVT
+)
+
+// gvtToken is the inter-node control message.
+type gvtToken struct {
+	phase  int
+	count  int64   // cumulative white sent-received (phase A)
+	minLVT float64 // phase B
+	minRed float64 // phase B
+	gvt    float64 // phase C
+	sync   bool    // phase C: CA-GVT's SyncFlag for the next round
+}
+
+func (t *gvtToken) wireSize() int { return 48 }
+
+// nodeCM is the node-level shared control message.
+type nodeCM struct {
+	mu      sim.Mutex
+	workers int
+
+	phase       int
+	roundStart  bool  // some worker initiated the round
+	redCount    int   // workers that turned red
+	whiteDelta  int64 // accumulated sent−received; carries across rounds
+	minLVT      float64
+	minRed      float64
+	contributed int
+	gvt         float64
+	acked       int
+	syncCur     bool // this round runs with CA barriers
+	syncNext    bool // decided by the master at round end
+}
+
+func (cm *nodeCM) init(eng *Engine, workers int) {
+	cm.workers = workers
+	cm.mu.Name = "nodeCM"
+	cm.mu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	cm.minLVT = vtime.Inf
+	cm.minRed = vtime.Inf
+}
+
+// reset prepares the CM for the next round. whiteDelta deliberately
+// carries over: white receipts recorded while a worker was still red
+// belong to the next epoch's accounting.
+func (cm *nodeCM) reset() {
+	cm.phase = phOpen
+	cm.roundStart = false
+	cm.redCount = 0
+	cm.minLVT = vtime.Inf
+	cm.minRed = vtime.Inf
+	cm.contributed = 0
+	cm.acked = 0
+	cm.syncCur = cm.syncNext
+}
+
+// takeDelta atomically removes the node's accumulated white delta.
+func (n *node) takeDelta(p *sim.Proc) int64 {
+	cm := &n.cm
+	cm.mu.Lock(p)
+	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	d := cm.whiteDelta
+	cm.whiteDelta = 0
+	cm.mu.Unlock(p)
+	return d
+}
+
+// flushOldReceipts pays receipts of the draining epoch recorded since the
+// flip into the CM (Algorithm 2's in-flight white accounting).
+func (w *worker) flushOldReceipts() {
+	if w.recvC[w.drainSlot] == 0 {
+		return
+	}
+	cm := &w.node.cm
+	cm.mu.Lock(w.proc)
+	w.proc.Advance(w.eng.cfg.Cost.GVTBookkeeping)
+	cm.whiteDelta -= w.recvC[w.drainSlot]
+	cm.mu.Unlock(w.proc)
+	w.recvC[w.drainSlot] = 0
+}
+
+// matternPoll is the worker-side state machine, one step per main-loop
+// pass. Unlike barrierPoll it never blocks (except at CA sync points), so
+// event processing continues while the GVT computes in the background.
+func (w *worker) matternPoll() {
+	cm := &w.node.cm
+	p := w.proc
+	cost := &w.eng.cfg.Cost
+	ca := w.eng.cfg.GVT == GVTControlled
+	st := &workerBarrierStats{wait: &w.st.BarrierWait}
+	isCommLeader := w.commRole() == commPumpAndGVT
+
+	switch w.mstate {
+	case wIdle:
+		if cm.phase != phOpen {
+			return // previous round still cleaning up
+		}
+		// Once any worker initiates a round, the rest join promptly: the
+		// round cannot complete until every worker has flushed its
+		// counters, and in synchronous CA rounds the first barrier
+		// (Algorithm 3 line 4) additionally requires everyone.
+		if w.passes < w.eng.cfg.GVTInterval && !cm.roundStart {
+			return
+		}
+		cm.roundStart = true
+		w.passes = 0
+		if ca && cm.syncCur {
+			w.node.syncPoint(p, isCommLeader, true, st)
+		}
+		slot := uint8(w.epoch & 3)
+		cm.mu.Lock(p)
+		p.Advance(cost.GVTBookkeeping)
+		cm.whiteDelta += w.sentC[slot] - w.recvC[slot]
+		cm.redCount++
+		cm.mu.Unlock(p)
+		w.sentC[slot], w.recvC[slot] = 0, 0
+		w.drainSlot = slot
+		w.epoch++
+		w.minRed = vtime.Inf
+		w.mstate = wRed
+
+	case wRed:
+		w.flushOldReceipts()
+		if cm.phase < phWhiteDone {
+			return
+		}
+		if ca && cm.syncCur {
+			// Algorithm 3 line 14: align before contributing minima.
+			w.node.syncPoint(p, isCommLeader, false, st)
+		}
+		cm.mu.Lock(p)
+		p.Advance(cost.GVTBookkeeping)
+		if lm := w.localMin(); lm < cm.minLVT {
+			cm.minLVT = lm
+		}
+		if w.minRed < cm.minRed {
+			cm.minRed = w.minRed
+		}
+		cm.contributed++
+		cm.mu.Unlock(p)
+		w.mstate = wDone
+
+	case wDone:
+		w.flushOldReceipts()
+		if cm.phase < phGVTReady {
+			return
+		}
+		// No flip back: the round's new epoch is the stable epoch until
+		// the next round drains it.
+		w.applyGVT(cm.gvt)
+		if ca {
+			if cm.syncCur {
+				w.st.SyncRounds++
+				// Algorithm 3 line 30: align after fossil collection.
+				w.node.syncPoint(p, isCommLeader, true, st)
+			}
+			// Algorithm 3 line 31: computeEfficiency() every round — the
+			// overhead that costs CA-GVT a few percent against pure
+			// Mattern on computation-dominated models.
+			p.Advance(cost.EffCompute)
+		}
+		cm.mu.Lock(p)
+		cm.acked++
+		cm.mu.Unlock(p)
+		w.mstate = wIdle
+	}
+}
+
+// masterState drives node 0's side of the ring protocol.
+type masterState int
+
+const (
+	msIdle masterState = iota
+	msWaitA
+	msWaitContrib
+	msWaitB
+	msWaitC
+	msCleanup
+)
+
+// matternCommPoll advances the comm role of Mattern/CA-GVT by one step.
+// It is called by the dedicated MPI thread, or by worker 0 in
+// combined/shared modes (where the worker-side poll handles sync points).
+func (n *node) matternCommPoll(p *sim.Proc) bool {
+	cm := &n.cm
+	ca := n.eng.cfg.GVT == GVTControlled
+	dedicated := n.eng.cfg.Comm == CommDedicated
+	worked := false
+
+	// The dedicated comm thread participates in CA's sync points.
+	if dedicated && ca && cm.syncCur {
+		if cm.roundStart && !n.sync1Done && cm.phase == phOpen {
+			n.syncPoint(p, true, true, nil)
+			n.sync1Done = true
+			worked = true
+		}
+		if cm.phase >= phWhiteDone && !n.sync2Done {
+			n.syncPoint(p, true, false, nil)
+			n.sync2Done = true
+			worked = true
+		}
+		if cm.phase >= phGVTReady && !n.sync3Done {
+			n.syncPoint(p, true, true, nil)
+			n.sync3Done = true
+			worked = true
+		}
+	}
+
+	if n.id == 0 {
+		worked = n.masterPoll(p, ca) || worked
+	} else {
+		worked = n.slavePoll(p) || worked
+	}
+
+	// Round cleanup: all workers acknowledged and every token obligation
+	// of this node is met. A held token can only be the NEXT round's white
+	// token (arriving early from a fast master), so it does not block
+	// cleanup — it is serviced right after the reset.
+	if cm.phase == phGVTReady && cm.acked == cm.workers &&
+		(n.heldToken == nil || n.heldToken.phase == tokWhite) &&
+		(n.id != 0 || n.master == msCleanup) &&
+		(!ca || !cm.syncCur || !dedicated || n.sync3Done) {
+		cm.reset()
+		n.master = msIdle
+		n.sync1Done, n.sync2Done, n.sync3Done = false, false, false
+		worked = true
+	}
+	return worked
+}
+
+// masterPoll runs node 0's ring-master duties.
+func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
+	cm := &n.cm
+	eng := n.eng
+	single := eng.world.Size() == 1
+
+	switch n.master {
+	case msIdle:
+		if cm.phase != phOpen || cm.redCount != cm.workers {
+			return false
+		}
+		if single {
+			// No ring needed: the node CM is the global control message.
+			if n.peekDelta() != 0 {
+				return false // white messages still in flight
+			}
+			cm.phase = phWhiteDone
+			n.master = msWaitContrib
+			return true
+		}
+		tok := &gvtToken{phase: tokWhite, count: n.takeDelta(p), minLVT: vtime.Inf, minRed: vtime.Inf}
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		n.master = msWaitA
+		return true
+
+	case msWaitA:
+		m, ok := n.rank.TryRecvRing(p, tagToken)
+		if !ok {
+			return false
+		}
+		tok := m.Payload.(*gvtToken)
+		tok.count += n.takeDelta(p)
+		if tok.count == 0 {
+			cm.phase = phWhiteDone
+			n.master = msWaitContrib
+		} else if tok.count < 0 {
+			for _, nd := range n.eng.nodes {
+				fmt.Printf("node %d: phase=%d red=%d delta=%d contrib=%d acked=%d master=%d held=%v outbox=%d\n",
+					nd.id, nd.cm.phase, nd.cm.redCount, nd.cm.whiteDelta, nd.cm.contributed, nd.cm.acked, nd.master, nd.heldToken != nil, len(nd.outbox))
+				for _, w := range nd.workers {
+					fmt.Printf("  w%d: epoch=%d slot=%d state=%d sC=%v rC=%v inbox=%d\n",
+						w.idx, w.epoch, w.drainSlot, w.mstate, w.sentC, w.recvC, len(w.inbox))
+				}
+			}
+			panic(fmt.Sprintf("core: negative in-flight white count %d", tok.count))
+		} else {
+			// Messages still in flight: another lap collects the receipts.
+			n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		}
+		return true
+
+	case msWaitContrib:
+		if cm.contributed != cm.workers {
+			return false
+		}
+		if single {
+			n.publishGVT(p, ca, vtime.Min(cm.minLVT, cm.minRed))
+			n.master = msCleanup
+			return true
+		}
+		tok := &gvtToken{phase: tokReduce, minLVT: cm.minLVT, minRed: cm.minRed}
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		n.master = msWaitB
+		return true
+
+	case msWaitB:
+		m, ok := n.rank.TryRecvRing(p, tagToken)
+		if !ok {
+			return false
+		}
+		tok := m.Payload.(*gvtToken)
+		n.publishGVT(p, ca, vtime.Min(tok.minLVT, tok.minRed))
+		out := &gvtToken{phase: tokGVT, gvt: cm.gvt, sync: cm.syncNext}
+		n.rank.SendRing(p, tagToken, out.wireSize(), out)
+		n.master = msWaitC
+		return true
+
+	case msWaitC:
+		if _, ok := n.rank.TryRecvRing(p, tagToken); !ok {
+			return false
+		}
+		n.master = msCleanup
+		return true
+	}
+	return false
+}
+
+// peekDelta reads the node's accumulated white delta without consuming it
+// (single-node fast path).
+func (n *node) peekDelta() int64 { return n.cm.whiteDelta }
+
+// publishGVT finalizes a round at the master: computes CA's SyncFlag from
+// the observed efficiency (Algorithm 3 lines 20–24) and publishes the GVT.
+func (n *node) publishGVT(p *sim.Proc, ca bool, gvt float64) {
+	cm := &n.cm
+	eng := n.eng
+	eff := eng.clusterEfficiency()
+	sync := false
+	if ca {
+		p.Advance(eng.cfg.Cost.EffCompute)
+		sync = eff < eng.cfg.CAThreshold
+	}
+	cm.gvt = gvt
+	cm.syncNext = sync
+	cm.phase = phGVTReady
+	eng.onRoundComplete(gvt, cm.syncCur, eff)
+}
+
+// slavePoll runs a non-master node's ring duties: fold local state into
+// tokens as their preconditions are met, then forward them.
+func (n *node) slavePoll(p *sim.Proc) bool {
+	cm := &n.cm
+	tok := n.heldToken
+	n.heldToken = nil
+	if tok == nil {
+		m, ok := n.rank.TryRecvRing(p, tagToken)
+		if !ok {
+			return false
+		}
+		tok = m.Payload.(*gvtToken)
+	}
+	switch tok.phase {
+	case tokWhite:
+		// Hold until this node has reset from the previous round (the
+		// master can race ahead and start the next round's token before a
+		// slow node finished cleaning up) AND every local worker has turned
+		// red for the new round — otherwise the token would collect a stale
+		// or incomplete delta.
+		if cm.phase != phOpen || cm.redCount != cm.workers {
+			n.heldToken = tok
+			return false
+		}
+		tok.count += n.takeDelta(p)
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		return true
+	case tokReduce:
+		cm.phase = phWhiteDone
+		if cm.contributed != cm.workers {
+			n.heldToken = tok // hold until every local worker contributed
+			return true       // phase change counts as progress
+		}
+		if cm.minLVT < tok.minLVT {
+			tok.minLVT = cm.minLVT
+		}
+		if cm.minRed < tok.minRed {
+			tok.minRed = cm.minRed
+		}
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		return true
+	case tokGVT:
+		cm.gvt = tok.gvt
+		cm.syncNext = tok.sync
+		cm.phase = phGVTReady
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		return true
+	}
+	panic("core: unknown token phase")
+}

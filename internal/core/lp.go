@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// histEntry records one processed event together with everything needed to
+// undo it: the state snapshots taken just before processing (on snapshot
+// entries) and the events it sent.
+type histEntry struct {
+	ev *event.Event
+	// hasSnap marks entries preceded by a state snapshot. With
+	// CheckpointInterval k, every k-th entry carries one; rollback to a
+	// snapshot-less entry coast-forwards from the nearest earlier snapshot.
+	hasSnap bool
+	// committed marks entries already counted/checksummed at fossil
+	// collection but retained because a later rollback may need to
+	// coast-forward across them.
+	committed bool
+	snapping  any       // model snapshot before ev (hasSnap only)
+	snapRNG   rng.State // RNG state before ev (hasSnap only)
+	snapSeq   uint64    // tie-break sequence counter before ev (hasSnap only)
+	sent      []*event.Event
+}
+
+// lp is one logical process: model + rollback machinery.
+type lp struct {
+	id    event.LPID
+	model Model
+	rng   *rng.Stream
+
+	// seq is the tie-break sequence number for events this LP sends. It is
+	// part of rolled-back state so re-execution regenerates identical
+	// stamps (deterministic commit order).
+	seq uint64
+
+	// history holds processed, not-yet-fossil-collected events in
+	// ascending stamp order.
+	history []histEntry
+
+	// sinceSnap counts processed events since the last snapshot entry.
+	sinceSnap int
+
+	// pendingAnti stashes anti-messages that arrived before their
+	// positives.
+	pendingAnti []*event.Event
+
+	// checksum chains committed events in commit (stamp) order.
+	checksum stats.Checksum
+}
+
+func newLP(id event.LPID, model Model, stream *rng.Stream) *lp {
+	return &lp{
+		id:       id,
+		model:    model,
+		rng:      stream,
+		checksum: stats.NewChecksum(),
+	}
+}
+
+// lastStamp returns the stamp of the most recent processed event, or the
+// zero stamp if none remain in history. Fossil collection only removes
+// entries below GVT, and no straggler may arrive below GVT, so the zero
+// stamp is a safe floor after fossil collection.
+func (l *lp) lastStamp() vtime.Stamp {
+	if len(l.history) == 0 {
+		return vtime.ZeroStamp
+	}
+	return l.history[len(l.history)-1].ev.Stamp
+}
+
+// lvt returns the LP's local virtual time (time of last processed event).
+func (l *lp) lvt() vtime.Time {
+	if len(l.history) == 0 {
+		return 0
+	}
+	return l.history[len(l.history)-1].ev.Stamp.T
+}
+
+// init runs the model's Init hook, capturing its sends as initial events.
+func (l *lp) init(w *worker) {
+	ctx := &initCtx{lp: l, w: w}
+	l.model.Init(ctx)
+}
+
+// takeAnti removes and returns a stashed anti-message matching pos, if any.
+func (l *lp) takeAnti(pos *event.Event) *event.Event {
+	for i, a := range l.pendingAnti {
+		if a.Matches(pos) {
+			l.pendingAnti = append(l.pendingAnti[:i], l.pendingAnti[i+1:]...)
+			return a
+		}
+	}
+	return nil
+}
+
+// findProcessed returns the history index of the event matching anti, or -1.
+func (l *lp) findProcessed(anti *event.Event) int {
+	for i := range l.history {
+		if l.history[i].ev.Matches(anti) {
+			return i
+		}
+	}
+	return -1
+}
+
+// initCtx is the Context used during Model.Init: sends become initial
+// events placed directly into the destination worker's pending set (there
+// is no transit before the simulation starts).
+type initCtx struct {
+	lp *lp
+	w  *worker
+}
+
+func (c *initCtx) Self() event.LPID { return c.lp.id }
+func (c *initCtx) Now() vtime.Time  { return 0 }
+func (c *initCtx) RNG() *rng.Stream { return c.lp.rng }
+func (c *initCtx) NumLPs() int      { return c.w.eng.cfg.Topology.TotalLPs() }
+func (c *initCtx) Spin(int)         {} // no CPU time passes before start
+
+func (c *initCtx) Send(dst event.LPID, delay vtime.Time, kind uint16, data []byte) {
+	if delay < 0 {
+		panic(fmt.Sprintf("core: negative delay %v from LP %d in Init", delay, c.lp.id))
+	}
+	eng := c.w.eng
+	l := c.lp
+	l.seq++
+	ev := &event.Event{
+		Stamp:    vtime.Stamp{T: delay, Src: uint32(l.id), Seq: l.seq},
+		SendTime: 0,
+		Src:      l.id,
+		Dst:      dst,
+		MatchID:  eng.nextMatchID(),
+		Color:    event.White,
+		Kind:     kind,
+		Data:     data,
+	}
+	dn, dw := eng.cfg.Topology.WorkerOf(dst)
+	eng.nodes[dn].workers[dw].pending.Push(ev)
+}
+
+// execCtx is the Context used while processing an event.
+type execCtx struct {
+	w    *worker
+	lp   *lp
+	ev   *event.Event
+	sent []*event.Event
+}
+
+func (c *execCtx) Self() event.LPID { return c.lp.id }
+func (c *execCtx) Now() vtime.Time  { return c.ev.Stamp.T }
+func (c *execCtx) RNG() *rng.Stream { return c.lp.rng }
+func (c *execCtx) NumLPs() int      { return c.w.eng.cfg.Topology.TotalLPs() }
+func (c *execCtx) Spin(units int)   { c.w.proc.Advance(c.w.eng.cfg.Cost.EPGCost(units)) }
+
+// replayCtx coast-forwards an already-processed event after a partial
+// state restore: model effects replay deterministically, but sends are
+// suppressed (the original messages are still valid) — only the sequence
+// counter advances, keeping subsequent stamps identical.
+type replayCtx struct {
+	w  *worker
+	lp *lp
+	ev *event.Event
+}
+
+func (c *replayCtx) Self() event.LPID { return c.lp.id }
+func (c *replayCtx) Now() vtime.Time  { return c.ev.Stamp.T }
+func (c *replayCtx) RNG() *rng.Stream { return c.lp.rng }
+func (c *replayCtx) NumLPs() int      { return c.w.eng.cfg.Topology.TotalLPs() }
+func (c *replayCtx) Spin(units int)   { c.w.proc.Advance(c.w.eng.cfg.Cost.EPGCost(units)) }
+
+func (c *replayCtx) Send(event.LPID, vtime.Time, uint16, []byte) {
+	c.lp.seq++
+}
+
+func (c *execCtx) Send(dst event.LPID, delay vtime.Time, kind uint16, data []byte) {
+	if delay < 0 {
+		panic(fmt.Sprintf("core: negative delay %v from LP %d at t=%v", delay, c.lp.id, c.ev.Stamp.T))
+	}
+	l := c.lp
+	l.seq++
+	ev := &event.Event{
+		Stamp:    vtime.Stamp{T: c.ev.Stamp.T + delay, Src: uint32(l.id), Seq: l.seq},
+		SendTime: c.ev.Stamp.T,
+		Src:      l.id,
+		Dst:      dst,
+		MatchID:  c.w.eng.nextMatchID(),
+		Kind:     kind,
+		Data:     data,
+	}
+	c.sent = append(c.sent, ev)
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// MPI tags used by the engine.
+const (
+	tagEvents = mpi.TagUser + iota // remote event messages
+	tagToken                       // Mattern/CA-GVT ring control message
+	tagAcks                        // Samadi GVT acknowledgements
+)
+
+// node models one cluster node: its worker threads, the shared outbound
+// structure remote messages are written into, the node-level GVT state and
+// (in dedicated mode) the MPI communication thread.
+type node struct {
+	eng     *Engine
+	id      int
+	workers []*worker
+	rank    *mpi.Rank
+
+	// outbox is the "global shared data structure" (§4) worker threads
+	// write remote messages into for the MPI thread to send. outAcks is
+	// its Samadi-acknowledgement counterpart.
+	outMu   sim.Mutex
+	outbox  []*event.Event
+	outAcks []remoteAck
+
+	// Barrier-GVT shared state (Algorithm 1). Slots are per worker.
+	gvtBar   *sim.Barrier // two-phase node barrier: enter
+	gvtBar2  *sim.Barrier // two-phase node barrier: exit
+	gvtReq   bool         // a GVT round has been requested on this node
+	msgCount []int64      // per-worker sent-received published at the barrier
+	localMin []float64    // per-worker minimum unprocessed timestamp
+	transit  int64        // cluster in-transit total published by the comm role
+	nodeGVT  float64      // cluster GVT published by the comm role
+
+	// Mattern/CA-GVT control message (Algorithm 2/3).
+	cm nodeCM
+
+	// comm thread bookkeeping
+	commProc      *sim.Proc
+	workersExited int
+	master        masterState // ring-master state (node 0 only)
+	heldToken     *gvtToken   // token waiting for a local condition
+	// sync{1,2,3}Done track the dedicated comm thread's participation in
+	// CA-GVT's three per-round synchronization points.
+	sync1Done bool
+	sync2Done bool
+	sync3Done bool
+}
+
+func newNode(eng *Engine, id int, streams *rng.Sequence) *node {
+	top := eng.cfg.Topology
+	n := &node{
+		eng:      eng,
+		id:       id,
+		rank:     eng.world.Rank(id),
+		msgCount: make([]int64, top.WorkersPerNode),
+		localMin: make([]float64, top.WorkersPerNode),
+	}
+	n.outMu.Name = fmt.Sprintf("outbox-%d", id)
+	n.outMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	participants := top.WorkersPerNode
+	if eng.cfg.Comm == CommDedicated {
+		participants++
+	}
+	n.gvtBar = sim.NewBarrier(fmt.Sprintf("gvt-%d", id), participants)
+	n.gvtBar2 = sim.NewBarrier(fmt.Sprintf("gvt2-%d", id), participants)
+	n.cm.init(eng, top.WorkersPerNode)
+	for wi := 0; wi < top.WorkersPerNode; wi++ {
+		n.workers = append(n.workers, newWorker(eng, n, wi, streams))
+	}
+	return n
+}
+
+// spawn launches the node's simulated threads.
+func (n *node) spawn() {
+	for _, w := range n.workers {
+		w := w
+		n.eng.env.Spawn(fmt.Sprintf("n%d/w%d", n.id, w.idx), w.run)
+	}
+	if n.eng.cfg.Comm == CommDedicated {
+		n.commProc = n.eng.env.Spawn(fmt.Sprintf("n%d/comm", n.id), n.commLoop)
+	}
+}
+
+// commLoop is the dedicated MPI thread: it exclusively services MPI sends,
+// receives and the GVT algorithm's MPI duties (the paper's proposal).
+func (n *node) commLoop(p *sim.Proc) {
+	for n.workersExited < len(n.workers) {
+		worked := n.pump(p)
+		worked = n.gvtCommPoll(p) || worked
+		if !worked {
+			p.Advance(n.eng.cfg.Cost.IdlePoll)
+		}
+	}
+}
+
+// pumpBudget bounds how many messages one pump call moves in each
+// direction, so the comm thread interleaves GVT protocol duties with
+// event forwarding even under backlog (as ROSS's MPI thread alternates
+// between its service loops).
+const pumpBudget = 32
+
+// pump moves remote messages in both directions: it drains the node
+// outbox onto the wire and routes arrived MPI messages into the target
+// workers' mailboxes. It returns whether any message moved.
+func (n *node) pump(p *sim.Proc) bool {
+	worked := false
+	// Outbound: take a bounded batch from the outbox under the shared lock.
+	n.outMu.Lock(p)
+	out := n.outbox
+	if len(out) > pumpBudget {
+		out = out[:pumpBudget]
+		n.outbox = n.outbox[pumpBudget:]
+	} else {
+		n.outbox = nil
+	}
+	n.outMu.Unlock(p)
+	for _, ev := range out {
+		dst := n.eng.cfg.Topology.NodeOf(ev.Dst)
+		n.rank.Send(p, dst, tagEvents, ev.WireSize(), ev)
+		worked = true
+	}
+	// Outbound acknowledgements (Samadi GVT only).
+	n.outMu.Lock(p)
+	acks := n.outAcks
+	if len(acks) > pumpBudget {
+		acks = acks[:pumpBudget]
+		n.outAcks = n.outAcks[pumpBudget:]
+	} else {
+		n.outAcks = nil
+	}
+	n.outMu.Unlock(p)
+	for _, ra := range acks {
+		n.rank.Send(p, ra.dstNode, tagAcks, ackWire, ra.a)
+		worked = true
+	}
+	// Inbound: drain waiting event messages, up to the budget.
+	for i := 0; i < pumpBudget; i++ {
+		m, ok := n.rank.TryRecv(p, tagEvents)
+		if !ok {
+			break
+		}
+		ev := m.Payload.(*event.Event)
+		_, wi := n.eng.cfg.Topology.WorkerOf(ev.Dst)
+		n.workers[wi].deposit(p, ev)
+		worked = true
+	}
+	// Inbound acknowledgements.
+	for i := 0; i < pumpBudget; i++ {
+		m, ok := n.rank.TryRecv(p, tagAcks)
+		if !ok {
+			break
+		}
+		a := m.Payload.(ack)
+		wpn := n.eng.cfg.Topology.WorkersPerNode
+		n.workers[a.dstWorker%wpn].depositAck(p, a)
+		worked = true
+	}
+	return worked
+}
+
+// remoteAck is an acknowledgement waiting for the MPI thread.
+type remoteAck struct {
+	a       ack
+	dstNode int
+}
+
+// enqueueRemoteAck appends a Samadi ack to the node's outbound structure.
+func (n *node) enqueueRemoteAck(p *sim.Proc, a ack, dstNode int) {
+	n.outMu.Lock(p)
+	p.Advance(n.eng.cfg.Cost.RemoteEnqueue)
+	n.outAcks = append(n.outAcks, remoteAck{a: a, dstNode: dstNode})
+	n.outMu.Unlock(p)
+}
+
+// enqueueRemote appends ev to the node's outbound structure (worker side
+// of the remote path).
+func (n *node) enqueueRemote(p *sim.Proc, ev *event.Event) {
+	n.outMu.Lock(p)
+	p.Advance(n.eng.cfg.Cost.RemoteEnqueue)
+	n.outbox = append(n.outbox, ev)
+	n.outMu.Unlock(p)
+}
+
+// gvtCommPoll runs the comm role of the configured GVT algorithm. In
+// dedicated mode the MPI thread calls it; in combined/shared modes
+// worker 0 does.
+func (n *node) gvtCommPoll(p *sim.Proc) bool {
+	switch n.eng.cfg.GVT {
+	case GVTBarrier:
+		if n.gvtReq {
+			n.commBarrierRound(p)
+			return true
+		}
+		return false
+	case GVTSamadi:
+		if n.gvtReq {
+			n.commSamadiRound(p)
+			return true
+		}
+		return false
+	default:
+		return n.matternCommPoll(p)
+	}
+}
+
+// syncPoint is one of CA-GVT's synchronization points (Algorithm 3 lines
+// 4, 14, 30): all node participants meet at the first node barrier; when
+// the point is global, the comm role crosses the MPI barrier while the
+// rest wait at the second node barrier. The middle sync point of a round
+// is node-local (global=false) — its cross-node alignment comes from the
+// token protocol, which avoids a circular wait with the reduce token.
+func (n *node) syncPoint(p *sim.Proc, comm, global bool, st *workerBarrierStats) {
+	cost := n.eng.cfg.Cost.BarrierEntry
+	p.Advance(cost)
+	n.barrierWait(p, n.gvtBar, st)
+	if comm && global && n.eng.world.Size() > 1 {
+		n.rank.Barrier(p)
+	}
+	p.Advance(cost)
+	n.barrierWait(p, n.gvtBar2, st)
+}
+
+// workerBarrierStats lets barrier idle time be attributed to a worker;
+// the dedicated comm thread passes nil.
+type workerBarrierStats struct{ wait *sim.Time }
+
+func (n *node) barrierWait(p *sim.Proc, b *sim.Barrier, st *workerBarrierStats) {
+	start := p.Now()
+	b.Wait(p)
+	if st != nil && st.wait != nil {
+		*st.wait += p.Now() - start
+	}
+}

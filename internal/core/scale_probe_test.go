@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	core "repro/internal/core"
+	"repro/internal/phold"
+)
+
+func probe(t *testing.T, g core.GVTKind, cm core.CommMode, ph phold.Phase, end float64) {
+	top := cluster.Topology{Nodes: 8, WorkersPerNode: 8, LPsPerWorker: 64}
+	cfg := core.Config{
+		Topology: top, GVT: g, GVTInterval: 25,
+		Comm: cm, EndTime: end, Seed: 1,
+		Model: phold.New(phold.Params{Topology: top, Base: ph}),
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("%-8v %-9v: rate=%.4g ev/s eff=%6.2f%% rb=%7d wall=%v bwait=%v disp=%.3f rounds=%d sync=%d\n",
+		g, cm, r.EventRate(), 100*r.Efficiency(), r.Workers.Rollbacks, r.WallTime, r.Workers.BarrierWait, r.Disparity, r.GVTRounds, r.SyncRounds)
+}
+
+func TestScaleProbe(t *testing.T) {
+	if os.Getenv("CALIBRATE") == "" {
+		t.Skip("calibration probe; run with CALIBRATE=1")
+	}
+	fmt.Println("== computation-dominated ==")
+	for _, g := range []core.GVTKind{core.GVTMattern, core.GVTBarrier, core.GVTControlled} {
+		probe(t, g, core.CommDedicated, phold.ComputationDominated(), 60)
+	}
+	fmt.Println("== communication-dominated ==")
+	for _, g := range []core.GVTKind{core.GVTMattern, core.GVTBarrier, core.GVTControlled} {
+		probe(t, g, core.CommDedicated, phold.CommunicationDominated(), 60)
+	}
+	fmt.Println("== combined comm thread (comp) ==")
+	probe(t, core.GVTMattern, core.CommCombined, phold.ComputationDominated(), 60)
+	probe(t, core.GVTBarrier, core.CommCombined, phold.ComputationDominated(), 60)
+	fmt.Println("== combined comm thread (comm) ==")
+	probe(t, core.GVTMattern, core.CommCombined, phold.CommunicationDominated(), 60)
+	probe(t, core.GVTBarrier, core.CommCombined, phold.CommunicationDominated(), 60)
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/eventq"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// worker is one simulation thread (a ROSS PE): it owns a block of LPs, a
+// pending event set and a mailbox other threads deposit messages into.
+type worker struct {
+	eng  *Engine
+	node *node
+	idx  int // index within node
+	gidx int // cluster-wide index
+	proc *sim.Proc
+
+	lps     []*lp
+	firstLP event.LPID
+	pending eventq.Queue
+
+	// mailbox: regional senders and the comm thread deposit here.
+	inMu  sim.Mutex
+	inbox []*event.Event
+
+	// cumulative message counters for Algorithm 1 (all cross-worker
+	// messages, anti-messages included).
+	msgSent, msgRecv int64
+
+	// Mattern epoch counters (Algorithm 2), generalized: instead of two
+	// colors, messages carry the sender's epoch number mod 4 (the epoch
+	// increments at every GVT-round flip). Round R drains epoch R-1. Plain
+	// white/red alternation is not enough here because round completion is
+	// staggered across nodes: a node still finishing round R-2 can receive
+	// fresh epoch-(R-1) traffic, which under two colors is
+	// indistinguishable from the round's in-flight messages. Live epochs
+	// span at most three consecutive values, so mod-4 slots cannot collide.
+	sentC, recvC [4]int64
+	epoch        uint64
+	drainSlot    uint8   // epoch slot being drained by the in-progress round
+	minRed       float64 // min stamp among new-epoch sends this round
+
+	// Samadi GVT state: the acknowledgement mailbox and the set of
+	// sent-but-unacknowledged messages.
+	ackMu   sim.Mutex
+	ackIn   []ack
+	unacked unackedSet
+
+	// uncommitted counts processed events not yet fossil-collected; the
+	// engine stops speculating when it reaches Config.MaxUncommitted.
+	uncommitted int
+
+	// GVT driver state
+	gvtView    float64 // worker's view of the current GVT
+	passes     int     // events processed since last GVT round, in batch units
+	eventCred  int     // processed events not yet converted to a batch unit
+	idlePasses int     // consecutive idle passes while drained
+	idleRounds int     // rounds completed while this worker stayed drained
+	mstate     int     // Mattern worker phase (wIdle/wRed/wDone)
+	syncFlag   bool    // CA-GVT: this round runs with barriers
+
+	st stats.Worker
+}
+
+func newWorker(eng *Engine, n *node, idx int, streams *rng.Sequence) *worker {
+	w := &worker{
+		eng:     eng,
+		node:    n,
+		idx:     idx,
+		gidx:    n.id*eng.cfg.Topology.WorkersPerNode + idx,
+		pending: eventq.New(eng.cfg.QueueKind),
+		minRed:  vtime.Inf,
+	}
+	w.inMu.Name = fmt.Sprintf("inbox-%d/%d", n.id, idx)
+	w.inMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	w.ackMu.Name = fmt.Sprintf("acks-%d/%d", n.id, idx)
+	w.ackMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	w.unacked.init()
+	w.firstLP = eng.cfg.Topology.FirstLP(n.id, idx)
+	for i := 0; i < eng.cfg.Topology.LPsPerWorker; i++ {
+		id := w.firstLP + event.LPID(i)
+		w.lps = append(w.lps, newLP(id, eng.cfg.Model(id, eng.cfg.Topology.TotalLPs()), streams.Next()))
+	}
+	return w
+}
+
+func (w *worker) lpByID(id event.LPID) *lp {
+	i := int(id - w.firstLP)
+	if i < 0 || i >= len(w.lps) {
+		panic(fmt.Sprintf("core: LP %d routed to worker %d/%d owning [%d,%d)",
+			id, w.node.id, w.idx, w.firstLP, int(w.firstLP)+len(w.lps)))
+	}
+	return w.lps[i]
+}
+
+// localMin returns the minimum unprocessed timestamp at this worker
+// (the GVT "LVT" contribution: the next event this worker could process).
+func (w *worker) localMin() float64 {
+	if e := w.pending.Peek(); e != nil {
+		return e.Stamp.T
+	}
+	return vtime.Inf
+}
+
+// localMinView is the metrics-only view used for the disparity statistic.
+func (w *worker) localMinView() float64 { return w.localMin() }
+
+// run is the worker thread's main loop: drain mailbox, process a batch of
+// events, service MPI if this worker carries the comm role, and drive the
+// GVT algorithm — until GVT passes the end time.
+func (w *worker) run(p *sim.Proc) {
+	w.proc = p
+	cfg := &w.eng.cfg
+	commRole := w.commRole()
+	samadi := w.eng.samadiEnabled()
+	for w.gvtView <= cfg.EndTime {
+		worked := w.drainInbox()
+		if samadi && w.drainAcks() {
+			worked = true
+		}
+		if w.processBatch() {
+			worked = true
+		}
+		if commRole == commPump || commRole == commPumpAndGVT {
+			if w.node.pump(p) {
+				worked = true
+			}
+		}
+		// The comm-leading worker also drives the GVT comm role for the
+		// token-based algorithms; Barrier and Samadi GVT inline their comm
+		// duties in the worker's own round (between the two node barriers,
+		// Algorithm 1 line 12).
+		if commRole == commPumpAndGVT && (cfg.GVT == GVTMattern || cfg.GVT == GVTControlled) {
+			if w.node.matternCommPoll(p) {
+				worked = true
+			}
+		}
+		w.gvtPoll(worked)
+		if !worked {
+			w.st.IdleTime += cfg.Cost.IdlePoll
+			p.Advance(cfg.Cost.IdlePoll)
+		}
+	}
+	w.node.workersExited++
+}
+
+// commRoleKind describes what communication duties this worker carries.
+type commRoleKind int
+
+const (
+	commNone       commRoleKind = iota // dedicated thread does everything
+	commPump                           // shared mode, non-leader: pump only
+	commPumpAndGVT                     // combined mode leader / shared leader
+	commGVTOnly                        // (unused placeholder for symmetry)
+)
+
+func (w *worker) commRole() commRoleKind {
+	switch w.eng.cfg.Comm {
+	case CommDedicated:
+		return commNone
+	case CommCombined:
+		if w.idx == 0 {
+			return commPumpAndGVT
+		}
+		return commNone
+	default: // CommShared
+		if w.idx == 0 {
+			return commPumpAndGVT
+		}
+		return commPump
+	}
+}
+
+// drainInbox consumes every deposited message: counts it for GVT
+// accounting and delivers it (annihilation, straggler rollback, enqueue).
+func (w *worker) drainInbox() bool {
+	w.inMu.Lock(w.proc)
+	batch := w.inbox
+	w.inbox = nil
+	w.inMu.Unlock(w.proc)
+	if len(batch) == 0 {
+		return false
+	}
+	// Charge the per-message drain cost for the whole batch up front (one
+	// kernel transition instead of one per message).
+	cost := &w.eng.cfg.Cost
+	w.proc.Advance(sim.Time(len(batch)) * (cost.InboxDrainPerMsg + cost.QueueOp))
+	samadi := w.eng.samadiEnabled()
+	for _, ev := range batch {
+		w.msgRecv++
+		w.recvC[uint8(ev.Color)&3]++
+		if samadi && ev.AckID != 0 {
+			w.sendAck(ev)
+		}
+		w.deliver(ev)
+	}
+	return true
+}
+
+// deposit places ev into this worker's mailbox, charging the depositor
+// (a regional sender or the comm thread) the shared-memory send cost.
+func (w *worker) deposit(p *sim.Proc, ev *event.Event) {
+	w.inMu.Lock(p)
+	p.Advance(w.eng.cfg.Cost.RegionalSend)
+	w.inbox = append(w.inbox, ev)
+	w.inMu.Unlock(p)
+}
+
+// deliver applies one received message to its destination LP.
+func (w *worker) deliver(ev *event.Event) {
+	if ev.Stamp.T < w.gvtView {
+		panic(fmt.Sprintf("core: GVT violation: %v arrived at worker %d/%d with GVT %.6g",
+			ev, w.node.id, w.idx, w.gvtView))
+	}
+	l := w.lpByID(ev.Dst)
+	if ev.Anti {
+		if pos := w.pending.RemoveMatching(ev); pos != nil {
+			w.st.Annihilated++
+			return
+		}
+		if i := l.findProcessed(ev); i >= 0 {
+			// The positive was optimistically processed: roll back to just
+			// before it, which re-enqueues it, then annihilate.
+			w.rollback(l, l.history[i].ev.Stamp, false)
+			if w.pending.RemoveMatching(ev) == nil {
+				panic("core: rolled-back positive vanished before annihilation")
+			}
+			w.st.Annihilated++
+			return
+		}
+		// Anti overtook its positive: stash until it arrives.
+		l.pendingAnti = append(l.pendingAnti, ev)
+		return
+	}
+	if a := l.takeAnti(ev); a != nil {
+		w.st.Annihilated++
+		return
+	}
+	if ev.Stamp.Before(l.lastStamp()) {
+		w.rollback(l, ev.Stamp, true)
+	}
+	w.pending.Push(ev)
+}
+
+// processBatch executes up to BatchSize pending events with timestamps
+// within the simulation end time.
+func (w *worker) processBatch() bool {
+	cfg := &w.eng.cfg
+	n := 0
+	// Event-pool pressure works as in ROSS: a full pool requests a GVT
+	// round (fossil collection is what frees memory) and stops further
+	// speculation — but never refuses the event at the commit horizon, or
+	// the worker holding the global minimum would stall GVT itself.
+	capped := cfg.MaxUncommitted > 0 && w.uncommitted >= cfg.MaxUncommitted
+	if capped {
+		w.passes = cfg.GVTInterval
+	}
+	for i := 0; i < cfg.BatchSize; i++ {
+		next := w.pending.Peek()
+		if next == nil || next.Stamp.T > cfg.EndTime {
+			break
+		}
+		if capped && next.Stamp.T > w.gvtView {
+			break
+		}
+		w.processOne(w.pending.Pop())
+		n++
+	}
+	// The GVT interval counts processed events in batch units (the paper
+	// bases the interval "on the number of events processed").
+	w.eventCred += n
+	for w.eventCred >= cfg.BatchSize {
+		w.eventCred -= cfg.BatchSize
+		w.passes++
+	}
+	return n > 0
+}
+
+func (w *worker) processOne(ev *event.Event) {
+	l := w.lpByID(ev.Dst)
+	if ev.Stamp.Before(l.lastStamp()) {
+		panic(fmt.Sprintf("core: pending straggler leaked to processing: %v behind %v", ev, l.lastStamp()))
+	}
+	cfg := &w.eng.cfg
+	w.proc.Advance(cfg.Cost.EventOverhead)
+	entry := histEntry{ev: ev}
+	if l.sinceSnap == 0 {
+		entry.hasSnap = true
+		entry.snapping = l.model.Snapshot()
+		entry.snapRNG = l.rng.Save()
+		entry.snapSeq = l.seq
+		w.proc.Advance(cfg.Cost.StateSave)
+	}
+	l.sinceSnap++
+	if l.sinceSnap >= cfg.CheckpointInterval {
+		l.sinceSnap = 0
+	}
+	ctx := execCtx{w: w, lp: l, ev: ev}
+	l.model.OnEvent(&ctx, ev)
+	entry.sent = ctx.sent
+	l.history = append(l.history, entry)
+	w.uncommitted++
+	w.st.Processed++
+	for _, out := range ctx.sent {
+		w.route(out)
+	}
+}
+
+// route sends one event (or anti-message) towards its destination,
+// charging the class-appropriate cost and doing GVT accounting.
+func (w *worker) route(ev *event.Event) {
+	cfg := &w.eng.cfg
+	top := cfg.Topology
+	class := top.Class(ev.Src, ev.Dst)
+	// Color the message with the sender's current epoch (mod 4).
+	ev.Color = event.Color(w.epoch & 3)
+	switch class {
+	case event.Local:
+		w.st.SentLocal++
+		// Queue insertion is charged here; delivery itself is free of
+		// kernel transitions (no transit for self-sends).
+		w.proc.Advance(cfg.Cost.LocalSend + cfg.Cost.QueueOp)
+		w.deliver(ev)
+		return
+	case event.Regional:
+		w.st.SentRegion++
+	case event.Remote:
+		w.st.SentRemote++
+	}
+	if ev.Anti {
+		w.st.AntiSent++
+	}
+	w.msgSent++
+	w.sentC[w.epoch&3]++
+	if w.eng.samadiEnabled() {
+		w.registerUnacked(ev)
+	}
+	// During a GVT round, new-color ("red") send stamps feed min_red
+	// (Algorithm 2 line 4 / paper §3).
+	if w.mstate != wIdle && ev.Stamp.T < w.minRed {
+		w.minRed = ev.Stamp.T
+	}
+	if class == event.Regional {
+		_, wi := top.WorkerOf(ev.Dst)
+		w.node.workers[wi].deposit(w.proc, ev)
+	} else {
+		w.node.enqueueRemote(w.proc, ev)
+	}
+}
+
+// rollback undoes every processed event of l with stamp >= s: restores the
+// earliest popped snapshot, re-enqueues the undone events and sends
+// anti-messages for everything they sent.
+func (w *worker) rollback(l *lp, s vtime.Stamp, straggler bool) {
+	h := l.history
+	idx := len(h)
+	for idx > 0 && !h[idx-1].ev.Stamp.Before(s) {
+		idx--
+	}
+	if idx == len(h) {
+		return // nothing at or after s
+	}
+	popped := h[idx:]
+	l.history = h[:idx]
+
+	// Restore LP state to just before the earliest undone event: rewind to
+	// the nearest snapshot at or before it, then coast-forward (re-execute
+	// with sends suppressed) across the snapshot-less gap.
+	j := idx
+	for j > 0 && !h[j].hasSnap {
+		j--
+	}
+	base := &h[j]
+	if !base.hasSnap {
+		panic("core: no snapshot found below rollback target")
+	}
+	l.model.Restore(base.snapping)
+	l.rng.Restore(base.snapRNG)
+	l.seq = base.snapSeq
+	for i := j; i < idx; i++ {
+		re := replayCtx{w: w, lp: l, ev: h[i].ev}
+		l.model.OnEvent(&re, h[i].ev)
+	}
+	// Recompute the snapshot cadence for the truncated history.
+	l.sinceSnap = idx - j
+	if l.sinceSnap >= w.eng.cfg.CheckpointInterval {
+		l.sinceSnap = 0
+	}
+
+	cfg := &w.eng.cfg
+	w.proc.Advance(sim.Time(len(popped)) * (cfg.Cost.RollbackPerEvent + cfg.Cost.QueueOp))
+	w.uncommitted -= len(popped)
+	w.st.Rollbacks++
+	w.st.RolledBack += int64(len(popped))
+	if straggler {
+		w.st.Stragglers++
+	} else {
+		w.st.AntiRollbck++
+	}
+
+	// Re-enqueue the undone events and collect cancellations.
+	var antis []*event.Event
+	for i := range popped {
+		entry := &popped[i]
+		w.pending.Push(entry.ev)
+		for _, out := range entry.sent {
+			antis = append(antis, out.AntiCopy())
+		}
+		entry.sent = nil
+		entry.snapping = nil
+	}
+	for _, a := range antis {
+		w.route(a)
+	}
+}
+
+// applyGVT installs a newly computed GVT: fossil-collect every LP's
+// history below it and commit those events.
+func (w *worker) applyGVT(g float64) {
+	cfg := &w.eng.cfg
+	var freed int64
+	for _, l := range w.lps {
+		// Commit every entry below the new GVT (in stamp order).
+		cut := 0
+		for cut < len(l.history) && l.history[cut].ev.Stamp.T < g {
+			entry := &l.history[cut]
+			if !entry.committed {
+				e := entry.ev
+				l.checksum = l.checksum.Mix(uint32(l.id), e.Stamp.T, e.Stamp.Src, e.Stamp.Seq)
+				if cfg.Trace != nil {
+					cfg.Trace.Commit(trace.Commit{
+						LP: uint32(l.id), T: e.Stamp.T, Src: e.Stamp.Src, Seq: e.Stamp.Seq,
+					})
+				}
+				entry.committed = true
+				w.st.Committed++
+				w.uncommitted--
+			}
+			cut++
+		}
+		// Free the longest committed prefix that leaves the remaining
+		// history self-sufficient: the first retained entry must carry a
+		// snapshot, since it may become the coast-forward base for a
+		// rollback at or above GVT.
+		free := 0
+		for b := cut; b >= 1; b-- {
+			if b == len(l.history) || l.history[b].hasSnap {
+				free = b
+				break
+			}
+		}
+		if free > 0 {
+			freed += int64(free)
+			l.history = append(l.history[:0], l.history[free:]...)
+			if len(l.history) == 0 {
+				// The whole history was freed: the next processed event
+				// must carry a snapshot, or a later rollback would find no
+				// coast-forward base.
+				l.sinceSnap = 0
+			}
+		}
+		// Stashed anti-messages below GVT can never match anything now.
+		for i := 0; i < len(l.pendingAnti); {
+			if l.pendingAnti[i].Stamp.T < g {
+				l.pendingAnti = append(l.pendingAnti[:i], l.pendingAnti[i+1:]...)
+			} else {
+				i++
+			}
+		}
+	}
+	if freed > 0 {
+		w.uncommitted -= int(freed)
+		w.proc.Advance(sim.Time(freed) * cfg.Cost.FossilPerEvent)
+	}
+	w.gvtView = g
+	w.st.GVTRounds++
+	w.idleRounds++ // reset on the next productive pass
+}
+
+// gvtPoll advances the worker's side of the configured GVT algorithm by
+// one main-loop pass. The interval counter advances with processed events
+// (see processBatch); idle passes contribute a small fraction so a fully
+// drained cluster still reaches its final GVT rounds.
+func (w *worker) gvtPoll(worked bool) {
+	if worked {
+		w.idleRounds = 0
+	} else {
+		// Credit idle passes toward the interval only when this worker has
+		// nothing left inside the horizon — the end-of-run state where GVT
+		// rounds are the only way to make progress. Transient starvation
+		// (messages on the way) must not inflate the round cadence, and a
+		// drained worker whose triggers are not helping (GVT rounds keep
+		// completing while it stays drained) backs off exponentially so it
+		// cannot stall the workers that still have events to process.
+		next := w.pending.Peek()
+		if next == nil || next.Stamp.T > w.eng.cfg.EndTime {
+			w.idlePasses++
+			shift := w.idleRounds
+			if shift > 6 {
+				shift = 6
+			}
+			if w.idlePasses >= 64<<shift {
+				w.idlePasses = 0
+				w.passes++
+			}
+		}
+	}
+	switch w.eng.cfg.GVT {
+	case GVTBarrier:
+		w.barrierPoll()
+	case GVTSamadi:
+		w.samadiPoll()
+	default:
+		w.matternPoll()
+	}
+}

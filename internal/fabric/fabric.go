@@ -1,0 +1,103 @@
+// Package fabric models the cluster interconnect (the paper's 10 GBit
+// Ethernet): point-to-point links between node endpoints with a
+// per-message wire latency, a bandwidth term proportional to message size,
+// and in-order delivery per (source, destination) pair, as TCP-backed MPI
+// provides.
+//
+// The fabric charges *wire* time only; sender/receiver CPU costs (MPI
+// software overhead, the MPI lock) belong to package mpi.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes the interconnect.
+type Params struct {
+	// Latency is the one-way wire + stack latency per message.
+	Latency sim.Time
+	// BytesPerSec is the link bandwidth. Zero means infinite.
+	BytesPerSec float64
+}
+
+// EthernetDefaults returns parameters approximating the paper's 10 GbE
+// fabric: ~30µs one-way latency (kernel TCP stack on the slow KNL cores),
+// 1.25 GB/s.
+func EthernetDefaults() Params {
+	return Params{Latency: 30 * sim.Microsecond, BytesPerSec: 1.25e9}
+}
+
+// TransferTime returns the wire occupancy for a message of n bytes.
+func (p Params) TransferTime(n int) sim.Time {
+	if p.BytesPerSec <= 0 {
+		return p.Latency
+	}
+	return p.Latency + sim.Time(float64(n)/p.BytesPerSec*float64(sim.Second))
+}
+
+// Packet is one message in flight.
+type Packet struct {
+	Src, Dst int
+	Tag      int
+	Size     int // wire bytes, used for the bandwidth term
+	Payload  any
+}
+
+// Handler consumes packets as they are delivered to an endpoint. It runs
+// in scheduler-callback context and must not block.
+type Handler func(Packet)
+
+// Fabric connects a fixed set of endpoints.
+type Fabric struct {
+	env      *sim.Env
+	params   Params
+	handlers []Handler
+	// lastArrival enforces per-(src,dst) FIFO ordering even when a large
+	// message is overtaken in raw transfer time by a small one.
+	lastArrival map[linkKey]sim.Time
+	// Stats
+	MessagesSent int64
+	BytesSent    int64
+}
+
+type linkKey struct{ src, dst int }
+
+// New returns a fabric with n endpoints. Handlers must be attached with
+// Attach before any Send to that endpoint.
+func New(env *sim.Env, n int, params Params) *Fabric {
+	return &Fabric{
+		env:         env,
+		params:      params,
+		handlers:    make([]Handler, n),
+		lastArrival: make(map[linkKey]sim.Time),
+	}
+}
+
+// Attach registers the delivery handler for endpoint id.
+func (f *Fabric) Attach(id int, h Handler) {
+	if f.handlers[id] != nil {
+		panic(fmt.Sprintf("fabric: endpoint %d already attached", id))
+	}
+	f.handlers[id] = h
+}
+
+// Send puts pkt on the wire at the current virtual time. Delivery happens
+// after latency plus the bandwidth term, no earlier than any previously
+// sent message on the same (src, dst) link.
+func (f *Fabric) Send(pkt Packet) {
+	h := f.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("fabric: send to unattached endpoint %d", pkt.Dst))
+	}
+	arrival := f.env.Now() + f.params.TransferTime(pkt.Size)
+	key := linkKey{pkt.Src, pkt.Dst}
+	if prev := f.lastArrival[key]; arrival < prev {
+		arrival = prev
+	}
+	f.lastArrival[key] = arrival
+	f.MessagesSent++
+	f.BytesSent += int64(pkt.Size)
+	f.env.After(arrival-f.env.Now(), func() { h(pkt) })
+}

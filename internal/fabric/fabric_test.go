@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	p := Params{Latency: 100, BytesPerSec: 1e9} // 1 GB/s: 1 byte = 1ns
+	if got := p.TransferTime(0); got != 100 {
+		t.Errorf("TransferTime(0) = %d, want 100", got)
+	}
+	if got := p.TransferTime(1000); got != 1100 {
+		t.Errorf("TransferTime(1000) = %d, want 1100", got)
+	}
+	inf := Params{Latency: 50}
+	if got := inf.TransferTime(1 << 30); got != 50 {
+		t.Errorf("infinite bandwidth TransferTime = %d, want 50", got)
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 2, Params{Latency: 500})
+	var arrived sim.Time
+	var got Packet
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(p Packet) { arrived, got = env.Now(), p })
+	env.Spawn("sender", func(p *sim.Proc) {
+		p.Advance(10)
+		f.Send(Packet{Src: 0, Dst: 1, Tag: 7, Size: 64, Payload: "x"})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != 510 {
+		t.Errorf("arrived at %d, want 510", arrived)
+	}
+	if got.Tag != 7 || got.Payload != "x" || got.Src != 0 {
+		t.Errorf("packet mangled: %+v", got)
+	}
+	if f.MessagesSent != 1 || f.BytesSent != 64 {
+		t.Errorf("stats: %d msgs %d bytes", f.MessagesSent, f.BytesSent)
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	env := sim.NewEnv()
+	// Big first message, tiny second: second must not overtake.
+	f := New(env, 2, Params{Latency: 100, BytesPerSec: 1e9})
+	var order []int
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(p Packet) { order = append(order, p.Tag) })
+	env.Spawn("sender", func(p *sim.Proc) {
+		f.Send(Packet{Src: 0, Dst: 1, Tag: 1, Size: 1_000_000}) // 1ms transfer
+		p.Advance(1)
+		f.Send(Packet{Src: 0, Dst: 1, Tag: 2, Size: 0}) // would arrive first
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("delivery order = %v, want [1 2]", order)
+	}
+}
+
+func TestIndependentLinksDoNotSerialize(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 3, Params{Latency: 100, BytesPerSec: 1e9})
+	arrival := map[int]sim.Time{}
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(p Packet) { arrival[p.Tag] = env.Now() })
+	f.Attach(2, func(p Packet) { arrival[p.Tag] = env.Now() })
+	env.Spawn("sender", func(p *sim.Proc) {
+		f.Send(Packet{Src: 0, Dst: 1, Tag: 1, Size: 1_000_000})
+		f.Send(Packet{Src: 0, Dst: 2, Tag: 2, Size: 0})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrival[2] != 100 {
+		t.Errorf("small message on independent link arrived at %d, want 100", arrival[2])
+	}
+	if arrival[1] <= arrival[2] {
+		t.Errorf("big message arrived at %d, small at %d", arrival[1], arrival[2])
+	}
+}
+
+func TestSendToUnattachedPanics(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 2, Params{})
+	f.Attach(0, func(Packet) {})
+	env.Spawn("sender", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to unattached endpoint did not panic")
+			}
+		}()
+		f.Send(Packet{Src: 0, Dst: 1})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 1, Params{})
+	f.Attach(0, func(Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double attach did not panic")
+		}
+	}()
+	f.Attach(0, func(Packet) {})
+}
+
+func TestEthernetDefaults(t *testing.T) {
+	p := EthernetDefaults()
+	if p.Latency <= 0 || p.BytesPerSec <= 0 {
+		t.Error("defaults not positive")
+	}
+}

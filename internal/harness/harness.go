@@ -1,0 +1,694 @@
+// Package harness defines and runs the paper's experiments: one
+// experiment per figure of the evaluation (Figures 3–12), the efficiency
+// and LVT-disparity numbers quoted in the text, and the repo's extra
+// ablations. Each experiment produces a Table whose series correspond to
+// the figure's curves (committed event rate vs node count, typically).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/phold"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// Options scales the experiments. The defaults are sized so the full
+// suite completes in minutes on a laptop; the paper-scale topology
+// (60 workers x 128 LPs) is reachable by flag.
+type Options struct {
+	WorkersPerNode int
+	LPsPerWorker   int
+	EndTime        vtime.Time
+	// GVTInterval overrides the per-experiment default. The defaults are 8
+	// for figures 3-4 and 4 otherwise: the interval counts batches of 16
+	// processed events here, and these runs are ~100x shorter than the
+	// paper's, so the scaled values keep rounds-per-run comparable to the
+	// paper's interval 50/25.
+	GVTInterval int
+	Seed        uint64
+	NodeCounts  []int
+	CAThreshold float64
+	Verbose     bool // print each run's summary line as it finishes
+}
+
+// DefaultOptions returns the standard scaled-down configuration.
+func DefaultOptions() Options {
+	return Options{
+		WorkersPerNode: 8,
+		LPsPerWorker:   32,
+		EndTime:        40,
+		Seed:           1,
+		NodeCounts:     []int{1, 2, 4, 8},
+		CAThreshold:    0.80,
+	}
+}
+
+// Cell is one measured run.
+type Cell struct {
+	Rate        float64 // committed events per virtual second
+	Efficiency  float64
+	Rollbacks   int64
+	Committed   int64
+	WallTime    float64 // virtual seconds
+	Disparity   float64
+	SyncRounds  int64
+	GVTRounds   int64
+	BarrierWait float64 // virtual seconds summed over workers
+}
+
+func cellOf(r *stats.Run) Cell {
+	return Cell{
+		Rate:        r.EventRate(),
+		Efficiency:  r.Efficiency(),
+		Rollbacks:   r.Workers.Rollbacks,
+		Committed:   r.Workers.Committed,
+		WallTime:    r.WallTime.Seconds(),
+		Disparity:   r.Disparity,
+		SyncRounds:  r.SyncRounds,
+		GVTRounds:   r.GVTRounds,
+		BarrierWait: r.Workers.BarrierWait.Seconds(),
+	}
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is one reproduced figure or text statistic.
+type Table struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports (the shape to compare against)
+	XLabel string
+	XVals  []string
+	Series []Series
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options, io.Writer) Table
+}
+
+// Workload identifies the PHOLD parameterization of a run.
+type Workload int
+
+const (
+	WorkloadComp  Workload = iota // computation-dominated (paper §4)
+	WorkloadComm                  // communication-dominated (paper §4)
+	WorkloadMixed                 // X-Y alternating model (paper §6)
+)
+
+// runSpec is one engine execution.
+type runSpec struct {
+	nodes       int
+	gvt         core.GVTKind
+	comm        core.CommMode
+	workload    Workload
+	compFrac    float64 // mixed model X
+	commFrac    float64 // mixed model Y
+	interval    int
+	epgOverride int     // >0: override the phase EPG (EPG sweep)
+	caThreshold float64 // >0: override CA threshold
+	queueKind   string
+	checkpoint  int // >0: state-saving interval override
+}
+
+// model builds the PHOLD parameters for a spec.
+func (s runSpec) model(opt Options, top cluster.Topology) core.ModelFactory {
+	comp := phold.ComputationDominated()
+	comm := phold.CommunicationDominated()
+	if s.epgOverride > 0 {
+		comp.EPG = s.epgOverride
+		comm.EPG = s.epgOverride
+	}
+	if top.Nodes == 1 {
+		// No remote destinations exist on a single node; the paper's
+		// single-node points likewise have no MPI traffic.
+		comp.RemotePct, comm.RemotePct = 0, 0
+	}
+	p := phold.Params{Topology: top}
+	switch s.workload {
+	case WorkloadComp:
+		p.Base = comp
+	case WorkloadComm:
+		p.Base = comm
+	default:
+		p.Base = comp
+		p.Mixed = &phold.MixedModel{
+			Comm:     comm,
+			CompFrac: s.compFrac,
+			CommFrac: s.commFrac,
+			EndTime:  opt.EndTime,
+		}
+	}
+	return phold.New(p)
+}
+
+// execute runs one spec and returns its cell.
+func (s runSpec) execute(opt Options, w io.Writer) Cell {
+	top := cluster.Topology{
+		Nodes:          s.nodes,
+		WorkersPerNode: opt.WorkersPerNode,
+		LPsPerWorker:   opt.LPsPerWorker,
+	}
+	interval := s.interval
+	if opt.GVTInterval > 0 {
+		interval = opt.GVTInterval
+	}
+	threshold := opt.CAThreshold
+	if s.caThreshold > 0 {
+		threshold = s.caThreshold
+	}
+	cfg := core.Config{
+		Topology:           top,
+		GVT:                s.gvt,
+		GVTInterval:        interval,
+		CAThreshold:        threshold,
+		Comm:               s.comm,
+		EndTime:            opt.EndTime,
+		Seed:               opt.Seed,
+		QueueKind:          s.queueKind,
+		CheckpointInterval: s.checkpoint,
+		Model:              s.model(opt, top),
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		panic(fmt.Sprintf("harness: run %+v failed: %v", s, err))
+	}
+	if opt.Verbose && w != nil {
+		fmt.Fprintf(w, "  [%d nodes %v/%v wl=%d] rate=%.4g eff=%.1f%% rb=%d\n",
+			s.nodes, s.gvt, s.comm, s.workload, r.EventRate(), 100*r.Efficiency(), r.Workers.Rollbacks)
+	}
+	return cellOf(r)
+}
+
+// sweep runs one curve across the node counts.
+func sweep(opt Options, w io.Writer, base runSpec) []Cell {
+	cells := make([]Cell, 0, len(opt.NodeCounts))
+	for _, n := range opt.NodeCounts {
+		s := base
+		s.nodes = n
+		cells = append(cells, s.execute(opt, w))
+	}
+	return cells
+}
+
+func nodeLabels(opt Options) []string {
+	xs := make([]string, len(opt.NodeCounts))
+	for i, n := range opt.NodeCounts {
+		xs[i] = fmt.Sprintf("%d", n)
+	}
+	return xs
+}
+
+// Registry returns all experiments, ordered as in the paper.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig3", Title: "Dedicated MPI thread, computation-dominated", Run: fig3},
+		{ID: "fig4", Title: "Dedicated MPI thread, communication-dominated", Run: fig4},
+		{ID: "fig5", Title: "Mattern vs Barrier, computation-dominated", Run: fig5},
+		{ID: "fig6", Title: "Mattern vs Barrier, communication-dominated", Run: fig6},
+		{ID: "fig8", Title: "Mattern vs Barrier vs CA-GVT, computation-dominated", Run: fig8},
+		{ID: "fig9", Title: "Mattern vs Barrier vs CA-GVT, communication-dominated", Run: fig9},
+		{ID: "fig10", Title: "Mixed 10-15 model", Run: fig10},
+		{ID: "fig11", Title: "Mixed 15-10 model", Run: fig11},
+		{ID: "fig12", Title: "Mixed 5-5 model", Run: fig12},
+		{ID: "efficiency", Title: "Efficiency numbers quoted in the text", Run: efficiencyTable},
+		{ID: "disparity", Title: "LVT disparity (avg per-round stddev)", Run: disparityTable},
+		{ID: "interval", Title: "Ablation: GVT interval sensitivity", Run: ablInterval},
+		{ID: "threshold", Title: "Ablation: CA-GVT efficiency threshold", Run: ablThreshold},
+		{ID: "epg", Title: "Ablation: EPG sweep (Barrier/Mattern crossover)", Run: ablEPG},
+		{ID: "shared", Title: "Ablation: every thread does MPI", Run: ablShared},
+		{ID: "queue", Title: "Ablation: pending-set implementation", Run: ablQueue},
+		{ID: "checkpoint", Title: "Ablation: state-saving interval", Run: ablCheckpoint},
+		{ID: "samadi", Title: "Ablation: Samadi ack-based GVT vs the paper's algorithms", Run: ablSamadi},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// --- the figures ---
+
+func commThreadFigure(id, title, paper string, wl Workload, opt Options, w io.Writer) Table {
+	t := Table{
+		ID: id, Title: title, Paper: paper,
+		XLabel: "nodes", XVals: nodeLabels(opt),
+	}
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+		comm  core.CommMode
+	}{
+		{"Mattern dedicated", core.GVTMattern, core.CommDedicated},
+		{"Mattern combined", core.GVTMattern, core.CommCombined},
+		{"Barrier dedicated", core.GVTBarrier, core.CommDedicated},
+		{"Barrier combined", core.GVTBarrier, core.CommCombined},
+	} {
+		t.Series = append(t.Series, Series{
+			Label: c.label,
+			Cells: sweep(opt, w, runSpec{gvt: c.gvt, comm: c.comm, workload: wl, interval: 8}),
+		})
+	}
+	return t
+}
+
+func fig3(opt Options, w io.Writer) Table {
+	return commThreadFigure("fig3",
+		"Dedicated MPI thread, computation-dominated workload",
+		"Dedicated beats combined for both algorithms at every node count; at 8 nodes Mattern +51%, Barrier +17%.",
+		WorkloadComp, opt, w)
+}
+
+func fig4(opt Options, w io.Writer) Table {
+	return commThreadFigure("fig4",
+		"Dedicated MPI thread, communication-dominated workload",
+		"Dedicated wins much bigger under communication load: Mattern 14.59x, Barrier 4.29x at 8 nodes.",
+		WorkloadComm, opt, w)
+}
+
+func twoWayFigure(id, title, paper string, wl Workload, opt Options, w io.Writer) Table {
+	t := Table{ID: id, Title: title, Paper: paper, XLabel: "nodes", XVals: nodeLabels(opt)}
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+	} {
+		t.Series = append(t.Series, Series{
+			Label: c.label,
+			Cells: sweep(opt, w, runSpec{gvt: c.gvt, comm: core.CommDedicated, workload: wl, interval: 4}),
+		})
+	}
+	return t
+}
+
+func fig5(opt Options, w io.Writer) Table {
+	return twoWayFigure("fig5",
+		"Mattern vs Barrier, computation-dominated workload",
+		"Mattern wins when computation dominates: 27.9% faster than Barrier at 8 nodes.",
+		WorkloadComp, opt, w)
+}
+
+func fig6(opt Options, w io.Writer) Table {
+	return twoWayFigure("fig6",
+		"Mattern vs Barrier, communication-dominated workload",
+		"Barrier wins when communication dominates: 14.5% faster at 8 nodes; Mattern efficiency collapses (64.3% vs 94.2%).",
+		WorkloadComm, opt, w)
+}
+
+func threeWayFigure(id, title, paper string, wl Workload, x, y float64, opt Options, w io.Writer) Table {
+	t := Table{ID: id, Title: title, Paper: paper, XLabel: "nodes", XVals: nodeLabels(opt)}
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+		{"CA-GVT", core.GVTControlled},
+	} {
+		t.Series = append(t.Series, Series{
+			Label: c.label,
+			Cells: sweep(opt, w, runSpec{
+				gvt: c.gvt, comm: core.CommDedicated, workload: wl,
+				compFrac: x, commFrac: y, interval: 4,
+			}),
+		})
+	}
+	return t
+}
+
+func fig8(opt Options, w io.Writer) Table {
+	return threeWayFigure("fig8",
+		"Three-way comparison, computation-dominated workload",
+		"CA-GVT 8% slower than Mattern, 19% faster than Barrier at 8 nodes (stays asynchronous; efficiency ~93%).",
+		WorkloadComp, 0, 0, opt, w)
+}
+
+func fig9(opt Options, w io.Writer) Table {
+	return threeWayFigure("fig9",
+		"Three-way comparison, communication-dominated workload",
+		"CA-GVT 2% slower than Barrier, 13% faster than Mattern at 8 nodes (switches to synchronous mode).",
+		WorkloadComm, 0, 0, opt, w)
+}
+
+func fig10(opt Options, w io.Writer) Table {
+	return threeWayFigure("fig10",
+		"Mixed 10-15 model (10% comp, 15% comm, repeating)",
+		"CA-GVT beats Mattern by 8.3% and Barrier by 6.4% at 8 nodes.",
+		WorkloadMixed, 10, 15, opt, w)
+}
+
+func fig11(opt Options, w io.Writer) Table {
+	return threeWayFigure("fig11",
+		"Mixed 15-10 model (15% comp, 10% comm, repeating)",
+		"CA-GVT beats Mattern by 6.9% and Barrier by 12.7% at 8 nodes.",
+		WorkloadMixed, 15, 10, opt, w)
+}
+
+func fig12(opt Options, w io.Writer) Table {
+	return threeWayFigure("fig12",
+		"Mixed 5-5 model (5% comp, 5% comm, repeating)",
+		"CA-GVT beats Mattern by 7.8% and Barrier by 8.3% at 8 nodes.",
+		WorkloadMixed, 5, 5, opt, w)
+}
+
+// efficiencyTable reproduces the efficiency numbers quoted in §4 and §6.
+func efficiencyTable(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "efficiency",
+		Title:  "Simulation efficiency at the largest node count",
+		Paper:  "Paper (8 nodes): Mattern comp 92.1%, comm 64.2%; Barrier comp ~91.5%, comm 94.2%; CA comm ~80% (threshold-driven).",
+		XLabel: "scenario", XVals: []string{"comp", "comm"},
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+		{"CA-GVT", core.GVTControlled},
+	} {
+		cells := []Cell{
+			runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComp, interval: 4}.execute(opt, w),
+			runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComm, interval: 4}.execute(opt, w),
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+// disparityTable reproduces the §4 LVT disparity comparison.
+func disparityTable(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "disparity",
+		Title:  "Average per-round stddev of worker LVTs, communication-dominated",
+		Paper:  "Paper (8 nodes, comm-dominated): Barrier 0.31 vs Mattern 0.43 — synchronization narrows the spread.",
+		XLabel: "algorithm", XVals: []string{"value"},
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+	} {
+		cell := runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComm, interval: 4}.execute(opt, w)
+		t.Series = append(t.Series, Series{Label: c.label, Cells: []Cell{cell}})
+	}
+	return t
+}
+
+// --- ablations ---
+
+func ablInterval(opt Options, w io.Writer) Table {
+	intervals := []int{2, 4, 8, 16, 32}
+	t := Table{
+		ID:     "interval",
+		Title:  "GVT interval sensitivity (8-node comm-dominated unless overridden)",
+		Paper:  "Paper picks 25/50 as 'best overall performance'; too-small intervals pay protocol overhead, too-large ones delay fossil collection and grow rollback depth.",
+		XLabel: "interval",
+	}
+	for _, iv := range intervals {
+		t.XVals = append(t.XVals, fmt.Sprintf("%d", iv))
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+	} {
+		var cells []Cell
+		for _, iv := range intervals {
+			o := opt
+			o.GVTInterval = 0
+			cells = append(cells, runSpec{
+				nodes: n, gvt: c.gvt, comm: core.CommDedicated,
+				workload: WorkloadComm, interval: iv,
+			}.execute(o, w))
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+func ablThreshold(opt Options, w io.Writer) Table {
+	thresholds := []float64{0.5, 0.7, 0.8, 0.9, 0.99}
+	t := Table{
+		ID:     "threshold",
+		Title:  "CA-GVT efficiency threshold sweep (mixed 10-15 model)",
+		Paper:  "The paper fixes 80%; the sweep shows the async/sync trade the threshold controls.",
+		XLabel: "threshold",
+	}
+	for _, th := range thresholds {
+		t.XVals = append(t.XVals, fmt.Sprintf("%.2f", th))
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	var cells []Cell
+	for _, th := range thresholds {
+		cells = append(cells, runSpec{
+			nodes: n, gvt: core.GVTControlled, comm: core.CommDedicated,
+			workload: WorkloadMixed, compFrac: 10, commFrac: 15,
+			interval: 4, caThreshold: th,
+		}.execute(opt, w))
+	}
+	t.Series = append(t.Series, Series{Label: "CA-GVT", Cells: cells})
+	return t
+}
+
+func ablEPG(opt Options, w io.Writer) Table {
+	epgs := []int{500, 1000, 2500, 5000, 10000, 20000}
+	t := Table{
+		ID:     "epg",
+		Title:  "EPG sweep on the communication-heavy mix: Barrier/Mattern crossover",
+		Paper:  "§4: higher EPG favors Mattern (asynchrony amortizes), lower EPG favors Barrier (rollback control); the crossover shifts with EPG.",
+		XLabel: "EPG",
+	}
+	for _, e := range epgs {
+		t.XVals = append(t.XVals, fmt.Sprintf("%d", e))
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+	} {
+		var cells []Cell
+		for _, e := range epgs {
+			cells = append(cells, runSpec{
+				nodes: n, gvt: c.gvt, comm: core.CommDedicated,
+				workload: WorkloadComm, interval: 4, epgOverride: e,
+			}.execute(opt, w))
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+func ablShared(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "shared",
+		Title:  "Comm-thread modes: dedicated vs combined vs every-thread-does-MPI",
+		Paper:  "§1 motivates the dedicated thread with the lock contention of fully threaded MPI; 'shared' is that worst case.",
+		XLabel: "nodes", XVals: nodeLabels(opt),
+	}
+	for _, c := range []struct {
+		label string
+		comm  core.CommMode
+	}{
+		{"dedicated", core.CommDedicated},
+		{"combined", core.CommCombined},
+		{"shared", core.CommShared},
+	} {
+		t.Series = append(t.Series, Series{
+			Label: c.label,
+			Cells: sweep(opt, w, runSpec{gvt: core.GVTMattern, comm: c.comm, workload: WorkloadComm, interval: 8}),
+		})
+	}
+	return t
+}
+
+func ablQueue(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "queue",
+		Title:  "Pending-set implementation: binary heap vs calendar queue",
+		Paper:  "Engine ablation (not in the paper): the committed stream is identical; virtual rates differ only through CPU cost modelling, so this mainly validates interchangeability.",
+		XLabel: "nodes", XVals: nodeLabels(opt),
+	}
+	for _, kind := range []string{"heap", "calendar"} {
+		t.Series = append(t.Series, Series{
+			Label: kind,
+			Cells: sweep(opt, w, runSpec{gvt: core.GVTMattern, comm: core.CommDedicated, workload: WorkloadComp, interval: 4, queueKind: kind}),
+		})
+	}
+	return t
+}
+
+func ablCheckpoint(opt Options, w io.Writer) Table {
+	intervals := []int{1, 2, 4, 8, 16}
+	t := Table{
+		ID:     "checkpoint",
+		Title:  "State-saving interval: snapshot every k-th event + coast-forward",
+		Paper:  "Engine ablation (standard Time Warp trade-off, not a paper figure): sparse snapshots save copy cost but pay re-execution on rollback; the committed stream is identical either way.",
+		XLabel: "interval",
+	}
+	for _, k := range intervals {
+		t.XVals = append(t.XVals, fmt.Sprintf("%d", k))
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		wl    Workload
+	}{
+		{"comp-dominated", WorkloadComp},
+		{"comm-dominated", WorkloadComm},
+	} {
+		var cells []Cell
+		for _, k := range intervals {
+			cells = append(cells, runSpec{
+				nodes: n, gvt: core.GVTMattern, comm: core.CommDedicated,
+				workload: c.wl, interval: 4, checkpoint: k,
+			}.execute(opt, w))
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+func ablSamadi(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "samadi",
+		Title:  "Samadi's acknowledgement-based GVT against the paper's algorithms",
+		Paper:  "Related work (§7): Samadi's algorithm 'requires that acknowledgement messages be sent, causing extra communication overhead' — here that overhead is measured on both scenarios.",
+		XLabel: "scenario", XVals: []string{"comp", "comm"},
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label string
+		gvt   core.GVTKind
+	}{
+		{"Mattern", core.GVTMattern},
+		{"Barrier", core.GVTBarrier},
+		{"CA-GVT", core.GVTControlled},
+		{"Samadi", core.GVTSamadi},
+	} {
+		cells := []Cell{
+			runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComp, interval: 4}.execute(opt, w),
+			runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComm, interval: 4}.execute(opt, w),
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+// --- rendering ---
+
+// Render writes the table as aligned text with rate and efficiency.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", t.Paper)
+	}
+	width := 0
+	for _, s := range t.Series {
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", width+2, t.XLabel)
+	for _, x := range t.XVals {
+		fmt.Fprintf(w, "  %16s", x)
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "%-*s", width+2, s.Label)
+		for _, c := range s.Cells {
+			fmt.Fprintf(w, "  %9.4g/%5.1f%%", c.Rate, 100*c.Efficiency)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(cells: committed events per virtual second / efficiency)")
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table in machine-readable form.
+func (t Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "experiment,series,%s,rate,efficiency,rollbacks,committed,wall_s,disparity,sync_rounds,gvt_rounds,barrier_wait_s\n", t.XLabel)
+	for _, s := range t.Series {
+		for i, c := range s.Cells {
+			fmt.Fprintf(w, "%s,%s,%s,%.6g,%.6g,%d,%d,%.6g,%.6g,%d,%d,%.6g\n",
+				t.ID, s.Label, t.XVals[i], c.Rate, c.Efficiency, c.Rollbacks,
+				c.Committed, c.WallTime, c.Disparity, c.SyncRounds, c.GVTRounds, c.BarrierWait)
+		}
+	}
+}
+
+// Speedup returns series a's rate over series b's at the last x value.
+func (t Table) Speedup(a, b string) float64 {
+	var ca, cb *Cell
+	for i := range t.Series {
+		s := &t.Series[i]
+		last := &s.Cells[len(s.Cells)-1]
+		switch s.Label {
+		case a:
+			ca = last
+		case b:
+			cb = last
+		}
+	}
+	if ca == nil || cb == nil || cb.Rate == 0 {
+		return 0
+	}
+	return ca.Rate / cb.Rate
+}
+
+// Summary returns a one-line comparison of all series at the last x.
+func (t Table) Summary() string {
+	type pair struct {
+		label string
+		rate  float64
+	}
+	var ps []pair
+	for _, s := range t.Series {
+		ps = append(ps, pair{s.Label, s.Cells[len(s.Cells)-1].Rate})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].rate > ps[j].rate })
+	var parts []string
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%s %.4g", p.label, p.rate))
+	}
+	return strings.Join(parts, " > ")
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// miniOptions keeps harness tests fast: tiny cluster, short run.
+func miniOptions() Options {
+	return Options{
+		WorkersPerNode: 2,
+		LPsPerWorker:   4,
+		EndTime:        10,
+		Seed:           3,
+		NodeCounts:     []int{1, 2},
+		CAThreshold:    0.8,
+	}
+}
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"efficiency", "disparity", "interval", "threshold", "epg", "shared", "queue",
+		"checkpoint", "samadi",
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	seen := map[string]bool{}
+	for i, e := range reg {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestFindAndIDs(t *testing.T) {
+	if _, ok := Find("fig6"); !ok {
+		t.Error("Find(fig6) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	tab := fig5(miniOptions(), nil)
+	if tab.ID != "fig5" {
+		t.Errorf("ID = %s", tab.ID)
+	}
+	if len(tab.Series) != 2 {
+		t.Fatalf("fig5 has %d series, want 2", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Cells) != 2 {
+			t.Fatalf("series %s has %d cells, want 2", s.Label, len(s.Cells))
+		}
+		for _, c := range s.Cells {
+			if c.Rate <= 0 || c.Committed <= 0 || c.Efficiency <= 0 || c.Efficiency > 1 {
+				t.Errorf("series %s: implausible cell %+v", s.Label, c)
+			}
+		}
+	}
+}
+
+func TestMixedFigureStructure(t *testing.T) {
+	tab := fig10(miniOptions(), nil)
+	if len(tab.Series) != 3 {
+		t.Fatalf("fig10 has %d series, want 3", len(tab.Series))
+	}
+	labels := []string{"Mattern", "Barrier", "CA-GVT"}
+	for i, s := range tab.Series {
+		if s.Label != labels[i] {
+			t.Errorf("series %d = %s, want %s", i, s.Label, labels[i])
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	tab := fig5(miniOptions(), nil)
+	var text, csv bytes.Buffer
+	tab.Render(&text)
+	out := text.String()
+	for _, want := range []string{"fig5", "Mattern", "Barrier", "nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	tab.CSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + 2 series x 2 node counts
+	if len(lines) != 5 {
+		t.Errorf("CSV has %d lines, want 5:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,series,nodes,rate") {
+		t.Errorf("CSV header = %s", lines[0])
+	}
+}
+
+func TestSpeedupAndSummary(t *testing.T) {
+	tab := Table{
+		XVals: []string{"8"},
+		Series: []Series{
+			{Label: "A", Cells: []Cell{{Rate: 200}}},
+			{Label: "B", Cells: []Cell{{Rate: 100}}},
+		},
+	}
+	if s := tab.Speedup("A", "B"); s != 2 {
+		t.Errorf("Speedup = %v, want 2", s)
+	}
+	if s := tab.Speedup("A", "missing"); s != 0 {
+		t.Errorf("Speedup missing = %v, want 0", s)
+	}
+	sum := tab.Summary()
+	if !strings.HasPrefix(sum, "A 200") {
+		t.Errorf("Summary = %q", sum)
+	}
+}
+
+func TestVerboseWritesRuns(t *testing.T) {
+	opt := miniOptions()
+	opt.Verbose = true
+	var buf bytes.Buffer
+	spec := runSpec{nodes: 1, gvt: 0, comm: 0, workload: WorkloadComp, interval: 10}
+	spec.execute(opt, &buf)
+	if !strings.Contains(buf.String(), "rate=") {
+		t.Errorf("verbose output missing: %q", buf.String())
+	}
+}
+
+func TestSingleNodeDropsRemoteTraffic(t *testing.T) {
+	opt := miniOptions()
+	spec := runSpec{nodes: 1, workload: WorkloadComm, interval: 10}
+	// Must not panic (phold rejects remote percentages on one node).
+	spec.execute(opt, nil)
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	opt := DefaultOptions()
+	if opt.WorkersPerNode <= 0 || opt.LPsPerWorker <= 0 || opt.EndTime <= 0 ||
+		len(opt.NodeCounts) == 0 || opt.CAThreshold <= 0 {
+		t.Errorf("DefaultOptions insane: %+v", opt)
+	}
+}

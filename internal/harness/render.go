@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderAll runs and renders a set of experiments, returning the tables.
+func RenderAll(exps []Experiment, opt Options, w io.Writer, csv io.Writer) []Table {
+	var tables []Table
+	for _, e := range exps {
+		t := e.Run(opt, w)
+		t.Render(w)
+		if csv != nil {
+			t.CSV(csv)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table (used to
+// assemble EXPERIMENTS.md).
+func (t Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(w, "*Paper:* %s\n\n", t.Paper)
+	}
+	fmt.Fprintf(w, "| %s |", t.XLabel)
+	for _, x := range t.XVals {
+		fmt.Fprintf(w, " %s |", x)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|%s", strings.Repeat("---|", len(t.XVals)+1))
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "| %s |", s.Label)
+		for _, c := range s.Cells {
+			fmt.Fprintf(w, " %.3g (%.0f%%) |", c.Rate, 100*c.Efficiency)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

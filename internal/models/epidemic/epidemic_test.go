@@ -1,0 +1,75 @@
+package epidemic
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func TestValidate(t *testing.T) {
+	p := Params{GridW: 4, GridH: 4}
+	p.Defaults()
+	if err := p.Validate(16); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+	if p.Validate(15) == nil {
+		t.Error("grid/LP mismatch accepted")
+	}
+	bad := Params{GridW: 0, GridH: 4}
+	bad.Defaults()
+	if bad.Validate(0) == nil {
+		t.Error("zero grid accepted")
+	}
+	over := Params{GridW: 1, GridH: 1, Seeds: 5000, Population: 10}
+	if over.Validate(1) == nil {
+		t.Error("seeds > population accepted")
+	}
+}
+
+func TestEpidemicSpreads(t *testing.T) {
+	p := Params{GridW: 8, GridH: 4}
+	factory := New(p)
+	e := seq.New(factory, 32, 40, 3)
+	e.Run()
+	infectedRegions := 0
+	var total Region
+	for i := 0; i < 32; i++ {
+		st := e.Model(i).(*Model).State()
+		total.S += st.S
+		total.I += st.I
+		total.R += st.R
+		if st.I > 0 || st.R > 0 {
+			infectedRegions++
+		}
+	}
+	if infectedRegions < 2 {
+		t.Errorf("epidemic never spread beyond patient zero (%d regions touched)", infectedRegions)
+	}
+	pp := p
+	pp.Defaults()
+	if got := total.S + total.I + total.R; got != 32*pp.Population {
+		t.Errorf("population not conserved: %d", got)
+	}
+	if total.R == 0 {
+		t.Error("nobody recovered in 40 days")
+	}
+}
+
+func TestParallelMatchesOracle(t *testing.T) {
+	top := cluster.Topology{Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 8}
+	factory := New(Params{GridW: 8, GridH: 4})
+	cfg := core.Config{
+		Topology: top, GVT: core.GVTMattern, GVTInterval: 3,
+		Comm: core.CommDedicated, EndTime: 25, Seed: 3, Model: factory,
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.New(factory, 32, 25, 3).Run()
+	if r.CommitChecksum != ref.Checksum {
+		t.Error("parallel epidemic diverged from oracle")
+	}
+}

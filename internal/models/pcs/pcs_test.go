@@ -1,0 +1,74 @@
+package pcs
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func TestValidate(t *testing.T) {
+	p := Params{GridW: 4, GridH: 4}
+	p.Defaults()
+	if err := p.Validate(16); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+	if p.Validate(12) == nil {
+		t.Error("grid mismatch accepted")
+	}
+	bad := Params{GridW: 4, GridH: 4, Channels: -1}
+	if bad.Validate(16) == nil {
+		t.Error("negative channels accepted")
+	}
+}
+
+func TestCallsFlow(t *testing.T) {
+	factory := New(Params{GridW: 8, GridH: 4})
+	e := seq.New(factory, 32, 60, 5)
+	e.Run()
+	var tot TowerState
+	for i := 0; i < 32; i++ {
+		st := e.Model(i).(*Model).State()
+		tot.Completed += st.Completed
+		tot.Blocked += st.Blocked
+		tot.Dropped += st.Dropped
+		if st.Busy < 0 {
+			t.Fatalf("tower %d has negative busy count %d", i, st.Busy)
+		}
+	}
+	if tot.Completed == 0 {
+		t.Error("no calls completed")
+	}
+}
+
+func TestOverloadBlocksCalls(t *testing.T) {
+	// One channel and brutal load: blocking must happen.
+	factory := New(Params{GridW: 4, GridH: 2, Channels: 1, Interarrival: 0.1, HoldMean: 5})
+	e := seq.New(factory, 8, 40, 5)
+	e.Run()
+	var blocked int64
+	for i := 0; i < 8; i++ {
+		blocked += e.Model(i).(*Model).State().Blocked
+	}
+	if blocked == 0 {
+		t.Error("overloaded system blocked no calls")
+	}
+}
+
+func TestParallelMatchesOracle(t *testing.T) {
+	top := cluster.Topology{Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 8}
+	factory := New(Params{GridW: 8, GridH: 4})
+	cfg := core.Config{
+		Topology: top, GVT: core.GVTControlled, GVTInterval: 3,
+		Comm: core.CommDedicated, EndTime: 30, Seed: 5, Model: factory,
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.New(factory, 32, 30, 5).Run()
+	if r.CommitChecksum != ref.Checksum {
+		t.Error("parallel PCS diverged from oracle")
+	}
+}

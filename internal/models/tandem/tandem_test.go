@@ -1,0 +1,72 @@
+package tandem
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func TestValidateAndDefaults(t *testing.T) {
+	p := Params{}
+	p.Defaults()
+	if err := p.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	bad := Params{Interarrival: -1, ServiceMean: 1, HopDelay: 1}
+	if bad.Validate() == nil {
+		t.Error("negative interarrival accepted")
+	}
+}
+
+func TestConservationAcrossPipeline(t *testing.T) {
+	factory := New(Params{})
+	const stages = 16
+	e := seq.New(factory, stages, 200, 9)
+	e.Run()
+	prev := int64(1 << 62)
+	for i := 0; i < stages; i++ {
+		st := e.Model(i).(*Model).State()
+		// Monotone non-increasing service counts along the pipeline
+		// (stage i+1 can serve at most what stage i forwarded).
+		if st.Served > prev {
+			t.Fatalf("stage %d served %d > upstream %d", i, st.Served, prev)
+		}
+		prev = st.Served
+		if u := st.Utilization(200); u < 0 || u > 1 {
+			t.Fatalf("stage %d utilization %v out of range", i, u)
+		}
+	}
+	first := e.Model(0).(*Model).State()
+	if first.Served == 0 {
+		t.Fatal("stage 0 served nothing")
+	}
+}
+
+func TestUtilizationNearRho(t *testing.T) {
+	factory := New(Params{})
+	e := seq.New(factory, 8, 800, 10)
+	e.Run()
+	u := e.Model(0).(*Model).State().Utilization(800)
+	if u < 0.5 || u > 0.9 {
+		t.Errorf("stage 0 utilization %.2f, want ~0.7 (ρ)", u)
+	}
+}
+
+func TestParallelMatchesOracle(t *testing.T) {
+	top := cluster.Topology{Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 4}
+	factory := New(Params{})
+	cfg := core.Config{
+		Topology: top, GVT: core.GVTBarrier, GVTInterval: 3,
+		Comm: core.CommDedicated, EndTime: 150, Seed: 9, Model: factory,
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seq.New(factory, 16, 150, 9).Run()
+	if r.CommitChecksum != ref.Checksum {
+		t.Error("parallel tandem diverged from oracle")
+	}
+}

@@ -1,0 +1,286 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func newWorld(env *sim.Env, n int) *World {
+	return NewWorld(env, n, fabric.Params{Latency: 100, BytesPerSec: 0}, Costs{
+		Send: 10, Recv: 5, Poll: 1, LockHold: 0,
+	})
+}
+
+func TestSendRecvFrom(t *testing.T) {
+	env := sim.NewEnv()
+	w := newWorld(env, 2)
+	var got Message
+	env.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, TagUser, 64, "hello")
+	})
+	env.Spawn("r1", func(p *sim.Proc) {
+		got = w.Rank(1).RecvFrom(p, 0, TagUser)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "hello" || got.Src != 0 || got.Size != 64 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	env := sim.NewEnv()
+	w := newWorld(env, 2)
+	env.Spawn("r0", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to self did not panic")
+			}
+		}()
+		w.Rank(0).Send(p, 0, TagUser, 8, nil)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	env := sim.NewEnv()
+	w := newWorld(env, 2)
+	env.Spawn("r0", func(p *sim.Proc) {
+		p.Advance(50)
+		w.Rank(0).Send(p, 1, TagUser, 8, 42)
+	})
+	env.Spawn("r1", func(p *sim.Proc) {
+		if _, ok := w.Rank(1).TryRecv(p, TagUser); ok {
+			t.Error("TryRecv found a message before any send")
+		}
+		p.Advance(1000)
+		m, ok := w.Rank(1).TryRecv(p, TagUser)
+		if !ok || m.Payload != 42 {
+			t.Errorf("TryRecv after delivery: %+v ok=%v", m, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvFromMatchesSourceAndTag(t *testing.T) {
+	env := sim.NewEnv()
+	w := newWorld(env, 3)
+	var order []string
+	env.Spawn("r1", func(p *sim.Proc) {
+		w.Rank(1).Send(p, 0, TagUser, 8, "from1")
+	})
+	env.Spawn("r2", func(p *sim.Proc) {
+		w.Rank(2).Send(p, 0, TagUser+1, 8, "from2-other-tag")
+		w.Rank(2).Send(p, 0, TagUser, 8, "from2")
+	})
+	env.Spawn("r0", func(p *sim.Proc) {
+		// Ask for rank 2 first even though rank 1's message arrives too.
+		m := w.Rank(0).RecvFrom(p, 2, TagUser)
+		order = append(order, m.Payload.(string))
+		m = w.Rank(0).RecvFrom(p, 1, TagUser)
+		order = append(order, m.Payload.(string))
+		m = w.Rank(0).RecvFrom(p, 2, TagUser+1)
+		order = append(order, m.Payload.(string))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"from2", "from1", "from2-other-tag"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBarrierAllRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		env := sim.NewEnv()
+		w := newWorld(env, n)
+		released := make([]sim.Time, n)
+		for i := 0; i < n; i++ {
+			i := i
+			env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+				p.Advance(sim.Time(i * 1000)) // stagger arrivals
+				w.Rank(i).Barrier(p)
+				released[i] = p.Now()
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		last := sim.Time((n - 1) * 1000)
+		for i, ts := range released {
+			if ts < last {
+				t.Errorf("n=%d: rank %d released at %v before last arrival %v", n, i, ts, last)
+			}
+		}
+	}
+}
+
+func TestBarrierRepeats(t *testing.T) {
+	env := sim.NewEnv()
+	w := newWorld(env, 3)
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			for round := 0; round < 10; round++ {
+				p.Advance(sim.Time(1 + i*7))
+				w.Rank(i).Barrier(p)
+				counts[i]++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("rank %d completed %d rounds", i, c)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		env := sim.NewEnv()
+		w := newWorld(env, n)
+		results := make([]int64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+				results[i] = w.Rank(i).AllreduceSum(p, int64(i+1))
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := int64(n * (n + 1) / 2)
+		for i, r := range results {
+			if r != want {
+				t.Errorf("n=%d rank %d: sum = %d, want %d", n, i, r, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceMin(t *testing.T) {
+	env := sim.NewEnv()
+	n := 4
+	w := newWorld(env, n)
+	vals := []float64{3.5, 1.25, 9, 2}
+	results := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			results[i] = w.Rank(i).AllreduceMin(p, vals[i])
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != 1.25 {
+			t.Errorf("rank %d: min = %v, want 1.25", i, r)
+		}
+	}
+}
+
+func TestConsecutiveCollectivesDoNotMix(t *testing.T) {
+	env := sim.NewEnv()
+	n := 3
+	w := newWorld(env, n)
+	sums := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			// Rank 2 races ahead into the next round while rank 0 is slow.
+			for round := 0; round < 5; round++ {
+				p.Advance(sim.Time((3 - i) * 500))
+				sums[i] = append(sums[i], w.Rank(i).AllreduceSum(p, int64(round*10+i)))
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		want := int64(round*10) + int64(round*10+1) + int64(round*10+2)
+		for i := 0; i < n; i++ {
+			if sums[i][round] != want {
+				t.Errorf("round %d rank %d: %d, want %d", round, i, sums[i][round], want)
+			}
+		}
+	}
+}
+
+func TestRingCirculation(t *testing.T) {
+	env := sim.NewEnv()
+	n := 4
+	w := newWorld(env, n)
+	var total int
+	env.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).SendRing(p, TagUser, 16, 1)
+		for {
+			if m, ok := w.Rank(0).TryRecvRing(p, TagUser); ok {
+				total = m.Payload.(int)
+				return
+			}
+			p.Advance(10)
+		}
+	})
+	for i := 1; i < n; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			for {
+				if m, ok := w.Rank(i).TryRecvRing(p, TagUser); ok {
+					w.Rank(i).SendRing(p, TagUser, 16, m.Payload.(int)+1)
+					return
+				}
+				p.Advance(10)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Errorf("token accumulated %d, want %d", total, n)
+	}
+}
+
+func TestMPILockSerializesThreads(t *testing.T) {
+	// Two simulated threads of rank 0 send at the same instant: the MPI
+	// lock must serialize their Send CPU time (10 each).
+	env := sim.NewEnv()
+	w := newWorld(env, 2)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		env.Spawn(fmt.Sprintf("thr%d", i), func(p *sim.Proc) {
+			w.Rank(0).Send(p, 1, TagUser, 8, nil)
+			done = append(done, p.Now())
+		})
+	}
+	env.Spawn("sink", func(p *sim.Proc) {
+		w.Rank(1).RecvFrom(p, 0, TagUser)
+		w.Rank(1).RecvFrom(p, 0, TagUser)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 10 || done[1] != 20 {
+		t.Errorf("send completion times = %v, want [10 20]", done)
+	}
+	if _, contended, _ := w.Rank(0).LockStats(); contended != 1 {
+		t.Errorf("contended = %d, want 1", contended)
+	}
+}

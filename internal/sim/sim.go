@@ -1,0 +1,343 @@
+// Package sim is a deterministic, process-oriented discrete-event
+// simulation kernel. It plays the role that real hardware threads, pthread
+// primitives and wall-clock time play in the paper's testbed: simulated
+// "processes" (goroutines under a strict hand-off scheduler) advance a
+// shared virtual clock, contend on simulated mutexes, meet at simulated
+// barriers and exchange data through simulated queues.
+//
+// Exactly one goroutine runs at any instant (the scheduler hands control to
+// one process at a time and waits for it to block), so execution is fully
+// deterministic regardless of GOMAXPROCS and needs no memory
+// synchronization inside the simulated world.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// procState describes what a process is currently doing; used for
+// diagnostics when the simulation deadlocks.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Proc is a simulated thread of execution. All of its methods must be
+// called only from within the process's own function body.
+type Proc struct {
+	env       *Env
+	name      string
+	id        int
+	resumeCh  chan struct{}
+	state     procState
+	blockedOn string
+	xfer      any // value handed over by Queue.Put to a blocked getter
+	panicked  any // panic value captured from the process goroutine
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// event is a scheduled occurrence: either resuming a process or running a
+// callback in scheduler context.
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run this callback (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && (*h).less(l, min) {
+			min = l
+		}
+		if r < n && (*h).less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		(*h)[i], (*h)[min] = (*h)[min], (*h)[i]
+		i = min
+	}
+	return top
+}
+
+// Env is a simulation environment: a virtual clock plus the set of
+// processes and pending events that drive it.
+type Env struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	procs   []*Proc
+	live    int
+	cur     *Proc
+	yieldCh chan struct{}
+	running bool
+
+	// Livelock guard: number of consecutive dispatches allowed at a single
+	// timestamp before the kernel declares a virtual livelock. Zero means
+	// the default (50 million).
+	LivelockLimit int
+
+	sameTimeCount int
+	lastDispatch  Time
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Live returns the number of spawned processes that have not finished.
+func (e *Env) Live() int { return e.live }
+
+func (e *Env) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Spawn registers a new process. It may be called before Run or from
+// within a running process; the new process starts at the current virtual
+// time (after the caller yields).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:      e,
+		name:     name,
+		id:       len(e.procs),
+		resumeCh: make(chan struct{}),
+		state:    stateNew,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resumeCh
+		// A panic in a process is re-raised in the scheduler's goroutine
+		// (Run's caller) so tests and callers can recover it normally.
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.state = stateDone
+			p.blockedOn = ""
+			e.live--
+			e.yieldCh <- struct{}{}
+		}()
+		fn(p)
+	}()
+	p.state = stateRunnable
+	e.heap.push(event{at: e.now, seq: e.nextSeq(), p: p})
+	return p
+}
+
+// After schedules fn to run in scheduler context at now+d. fn must not
+// block; it may wake processes (e.g. Queue.PutNB) and schedule more
+// callbacks. Safe to call from process context or from another callback.
+func (e *Env) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: After with negative delay")
+	}
+	e.heap.push(event{at: e.now + d, seq: e.nextSeq(), fn: fn})
+}
+
+// makeRunnable schedules p to resume at the current time.
+func (e *Env) makeRunnable(p *Proc) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: makeRunnable(%s) in state %v", p.name, p.state))
+	}
+	p.state = stateRunnable
+	p.blockedOn = ""
+	e.heap.push(event{at: e.now, seq: e.nextSeq(), p: p})
+}
+
+// DeadlockError reports that live processes remain but no event can ever
+// wake them.
+type DeadlockError struct {
+	Now   Time
+	Procs []string // "name: blocked on X"
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v; %d live processes: %s",
+		d.Now, len(d.Procs), strings.Join(d.Procs, "; "))
+}
+
+// Run executes events until none remain. It returns a *DeadlockError if
+// live processes remain blocked with an empty event heap, and panics on a
+// virtual livelock (an unbounded number of events at one timestamp, which
+// indicates a simulated busy-wait that never advances time).
+func (e *Env) Run() error {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	limit := e.LivelockLimit
+	if limit <= 0 {
+		limit = 50_000_000
+	}
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		if ev.at == e.lastDispatch {
+			e.sameTimeCount++
+			if e.sameTimeCount > limit {
+				panic(fmt.Sprintf("sim: virtual livelock at t=%v (>%d events without advancing time)", e.now, limit))
+			}
+		} else {
+			e.sameTimeCount = 0
+			e.lastDispatch = ev.at
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.p
+		if p.state != stateRunnable {
+			panic(fmt.Sprintf("sim: dispatching %s in state %v", p.name, p.state))
+		}
+		p.state = stateRunning
+		e.cur = p
+		p.resumeCh <- struct{}{}
+		<-e.yieldCh
+		e.cur = nil
+		if p.panicked != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicked))
+		}
+	}
+	if e.live > 0 {
+		var blocked []string
+		for _, p := range e.procs {
+			if p.state == stateBlocked || p.state == stateRunnable {
+				blocked = append(blocked, fmt.Sprintf("%s: %s (%s)", p.name, p.state, p.blockedOn))
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Procs: blocked}
+	}
+	return nil
+}
+
+// yield returns control to the scheduler. The process must already have
+// arranged to be woken (a scheduled resume event or registration on a
+// primitive's wait list).
+func (p *Proc) yield() {
+	p.env.yieldCh <- struct{}{}
+	<-p.resumeCh
+	p.state = stateRunning
+}
+
+// block parks the process until something calls makeRunnable on it.
+func (p *Proc) block(what string) {
+	p.state = stateBlocked
+	p.blockedOn = what
+	p.yield()
+}
+
+// Advance blocks the process for virtual duration d. d must be >= 0;
+// Advance(0) yields to other processes scheduled at the current instant.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	e := p.env
+	e.heap.push(event{at: e.now + d, seq: e.nextSeq(), p: p})
+	p.state = stateRunnable
+	p.blockedOn = fmt.Sprintf("advance until %v", e.now+d)
+	p.yield()
+	p.blockedOn = ""
+}

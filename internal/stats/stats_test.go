@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWorkerAdd(t *testing.T) {
+	a := Worker{Processed: 10, Committed: 8, Rollbacks: 1, BarrierWait: 100}
+	b := Worker{Processed: 5, Committed: 5, SentRemote: 3, BarrierWait: 50}
+	a.Add(&b)
+	if a.Processed != 15 || a.Committed != 13 || a.Rollbacks != 1 ||
+		a.SentRemote != 3 || a.BarrierWait != 150 {
+		t.Errorf("Add result: %+v", a)
+	}
+}
+
+func TestEfficiencyAndRate(t *testing.T) {
+	r := Run{
+		Workers:  Worker{Processed: 1000, Committed: 900},
+		WallTime: 2 * sim.Second,
+	}
+	if e := r.Efficiency(); e != 0.9 {
+		t.Errorf("Efficiency = %v", e)
+	}
+	if rate := r.EventRate(); rate != 450 {
+		t.Errorf("EventRate = %v", rate)
+	}
+	empty := Run{}
+	if empty.Efficiency() != 1 {
+		t.Error("empty run efficiency != 1")
+	}
+	if empty.EventRate() != 0 {
+		t.Error("empty run rate != 0")
+	}
+}
+
+func TestDisparity(t *testing.T) {
+	var d Disparity
+	d.Observe([]float64{1, 1, 1})
+	if d.Mean() != 0 {
+		t.Errorf("uniform sample disparity = %v", d.Mean())
+	}
+	d.Observe([]float64{0, 2}) // stddev = 1
+	if got := d.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.5", got)
+	}
+	if d.Rounds() != 2 {
+		t.Errorf("Rounds = %d", d.Rounds())
+	}
+}
+
+func TestDisparityIgnoresInfAndEmpty(t *testing.T) {
+	var d Disparity
+	d.Observe(nil)
+	d.Observe([]float64{math.MaxFloat64, math.Inf(1)})
+	if d.Rounds() != 0 {
+		t.Errorf("Rounds = %d, want 0", d.Rounds())
+	}
+	d.Observe([]float64{5, math.MaxFloat64, 5})
+	if d.Mean() != 0 {
+		t.Errorf("Mean = %v, want 0 (idle workers ignored)", d.Mean())
+	}
+}
+
+func TestChecksumOrderSensitive(t *testing.T) {
+	a := NewChecksum().Mix(1, 1.5, 0, 1).Mix(2, 2.5, 0, 2)
+	b := NewChecksum().Mix(2, 2.5, 0, 2).Mix(1, 1.5, 0, 1)
+	if a == b {
+		t.Error("checksum is order-insensitive")
+	}
+	c := NewChecksum().Mix(1, 1.5, 0, 1).Mix(2, 2.5, 0, 2)
+	if a != c {
+		t.Error("checksum not deterministic")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	base := NewChecksum().Mix(1, 1.5, 2, 3)
+	variants := []Checksum{
+		NewChecksum().Mix(2, 1.5, 2, 3),
+		NewChecksum().Mix(1, 1.25, 2, 3),
+		NewChecksum().Mix(1, 1.5, 3, 3),
+		NewChecksum().Mix(1, 1.5, 2, 4),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collided with base", i)
+		}
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Workers: Worker{Processed: 10, Committed: 9}, WallTime: sim.Second}
+	s := r.String()
+	for _, want := range []string{"committed=9", "efficiency=90.00%", "gvt-rounds=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package trace records simulation runs for post-mortem analysis, in the
+// spirit of ROSS's event tracing: a compact binary log of committed
+// events and GVT rounds that can be written during a run and read back
+// for analysis (commit-rate timelines, per-LP activity, GVT progress).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record types.
+const (
+	recCommit = uint8(1) // one committed event
+	recRound  = uint8(2) // one completed GVT round
+)
+
+// Commit is one committed event.
+type Commit struct {
+	LP  uint32
+	T   float64 // virtual timestamp of the event
+	Src uint32
+	Seq uint64
+}
+
+// Round is one completed GVT round.
+type Round struct {
+	Round      int64
+	GVT        float64
+	AtNanos    int64 // simulated wall-clock of completion
+	Sync       bool
+	Efficiency float64
+}
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	// Counts of written records, for quick sanity checks.
+	Commits int64
+	Rounds  int64
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (t *Writer) put(b []byte) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// Commit appends a committed-event record.
+func (t *Writer) Commit(c Commit) {
+	var b [25]byte
+	b[0] = recCommit
+	binary.LittleEndian.PutUint32(b[1:], c.LP)
+	binary.LittleEndian.PutUint64(b[5:], math.Float64bits(c.T))
+	binary.LittleEndian.PutUint32(b[13:], c.Src)
+	binary.LittleEndian.PutUint64(b[17:], c.Seq)
+	t.put(b[:])
+	t.Commits++
+}
+
+// Round appends a GVT-round record.
+func (t *Writer) Round(r Round) {
+	var b [34]byte
+	b[0] = recRound
+	binary.LittleEndian.PutUint64(b[1:], uint64(r.Round))
+	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(r.GVT))
+	binary.LittleEndian.PutUint64(b[17:], uint64(r.AtNanos))
+	if r.Sync {
+		b[25] = 1
+	}
+	binary.LittleEndian.PutUint64(b[26:], math.Float64bits(r.Efficiency))
+	t.put(b[:])
+	t.Rounds++
+}
+
+// Flush drains buffered records and returns any accumulated write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader iterates over a trace stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record as either a Commit or a Round; io.EOF ends
+// the stream.
+func (t *Reader) Next() (any, error) {
+	kind, err := t.r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case recCommit:
+		var b [24]byte
+		if _, err := io.ReadFull(t.r, b[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated commit record: %w", err)
+		}
+		return Commit{
+			LP:  binary.LittleEndian.Uint32(b[0:]),
+			T:   math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+			Src: binary.LittleEndian.Uint32(b[12:]),
+			Seq: binary.LittleEndian.Uint64(b[16:]),
+		}, nil
+	case recRound:
+		var b [33]byte
+		if _, err := io.ReadFull(t.r, b[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated round record: %w", err)
+		}
+		return Round{
+			Round:      int64(binary.LittleEndian.Uint64(b[0:])),
+			GVT:        math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+			AtNanos:    int64(binary.LittleEndian.Uint64(b[16:])),
+			Sync:       b[24] != 0,
+			Efficiency: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
+		}, nil
+	default:
+		return nil, fmt.Errorf("trace: unknown record type %d", kind)
+	}
+}
+
+// Summary aggregates a trace stream.
+type Summary struct {
+	Commits    int64
+	Rounds     int64
+	SyncRounds int64
+	FinalGVT   float64
+	MaxT       float64
+	PerLP      map[uint32]int64
+}
+
+// Summarize reads a whole stream into a Summary.
+func Summarize(r io.Reader) (*Summary, error) {
+	tr := NewReader(r)
+	s := &Summary{PerLP: make(map[uint32]int64)}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch v := rec.(type) {
+		case Commit:
+			s.Commits++
+			s.PerLP[v.LP]++
+			if v.T > s.MaxT {
+				s.MaxT = v.T
+			}
+		case Round:
+			s.Rounds++
+			if v.Sync {
+				s.SyncRounds++
+			}
+			s.FinalGVT = v.GVT
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Commit(Commit{LP: 3, T: 1.5, Src: 2, Seq: 9})
+	w.Round(Round{Round: 1, GVT: 1.0, AtNanos: 5000, Sync: true, Efficiency: 0.75})
+	w.Commit(Commit{LP: 4, T: 2.5, Src: 3, Seq: 10})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Commits != 2 || w.Rounds != 1 {
+		t.Errorf("writer counts: %d commits %d rounds", w.Commits, w.Rounds)
+	}
+
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.(Commit)
+	if c.LP != 3 || c.T != 1.5 || c.Src != 2 || c.Seq != 9 {
+		t.Errorf("commit = %+v", c)
+	}
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := rec.(Round)
+	if rd.Round != 1 || rd.GVT != 1.0 || rd.AtNanos != 5000 || !rd.Sync || rd.Efficiency != 0.75 {
+		t.Errorf("round = %+v", rd)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Commit(Commit{LP: 1, T: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := NewReader(bytes.NewReader(cut)).Next(); err == nil {
+		t.Error("truncated record did not error")
+	}
+}
+
+func TestUnknownRecord(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{99})).Next(); err == nil {
+		t.Error("unknown record type did not error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.Commit(Commit{LP: uint32(i % 3), T: float64(i)})
+	}
+	w.Round(Round{Round: 1, GVT: 5, Sync: false})
+	w.Round(Round{Round: 2, GVT: 9, Sync: true, Efficiency: 0.5})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Commits != 10 || s.Rounds != 2 || s.SyncRounds != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.FinalGVT != 9 || s.MaxT != 9 {
+		t.Errorf("FinalGVT=%v MaxT=%v", s.FinalGVT, s.MaxT)
+	}
+	if s.PerLP[0] != 4 || s.PerLP[1] != 3 || s.PerLP[2] != 3 {
+		t.Errorf("PerLP = %v", s.PerLP)
+	}
+}
+
+// Property: any sequence of records round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(lps []uint32, ts []float64, gvts []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var want []any
+		n := len(lps)
+		if len(ts) < n {
+			n = len(ts)
+		}
+		for i := 0; i < n; i++ {
+			c := Commit{LP: lps[i], T: ts[i], Src: lps[i] + 1, Seq: uint64(i)}
+			w.Commit(c)
+			want = append(want, c)
+		}
+		for i, g := range gvts {
+			r := Round{Round: int64(i), GVT: g, Sync: i%2 == 0, Efficiency: 0.5}
+			w.Round(r)
+			want = append(want, r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, exp := range want {
+			got, err := r.Next()
+			if err != nil || got != exp {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
