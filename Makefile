@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test verify bench fmt clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full pre-merge gate: static analysis plus the whole test
+# suite under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs the telemetry-overhead benchmark (fails if sampling or
+# tracing shifts the committed-event rate by >= 5%).
+bench:
+	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 3x .
+
+fmt:
+	gofmt -l -w .
+
+clean:
+	$(GO) clean ./...
+	rm -f run.trace run.json results.csv

@@ -12,12 +12,17 @@
 package repro
 
 import (
+	"io"
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/seq"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -218,6 +223,79 @@ func BenchmarkAblationGVTInterval(b *testing.B) {
 			benchRun(b, 2, core.GVTMattern, core.CommDedicated, comm(), nil, iv)
 		})
 	}
+}
+
+// --- Telemetry overhead: sampler/trace on vs off ---
+
+// telemetryRun executes one CA-GVT mixed run with the given telemetry
+// attachments and returns its result.
+func telemetryRun(b *testing.B, rec *metrics.Recorder, tw *trace.Writer) *stats.Run {
+	b.Helper()
+	top := benchTopology(2)
+	m := mixed(10, 15)
+	m.EndTime = 15
+	cfg := core.Config{
+		Topology:    top,
+		GVT:         core.GVTControlled,
+		GVTInterval: 4,
+		Comm:        core.CommDedicated,
+		EndTime:     15,
+		Seed:        1,
+		Metrics:     rec,
+		Trace:       tw,
+		Model:       phold.New(phold.Params{Topology: top, Base: comp(), Mixed: m}),
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTelemetry compares the committed-event rate with the sampler
+// and trace off, sampler on, and sampler+trace on. Telemetry records
+// outside simulated cost, so the virtual-time rate must stay within the
+// 5% acceptance bound — the "overhead-pct" metric reports the measured
+// drift against the bare run, and the benchmark fails if it reaches 5%.
+func BenchmarkTelemetry(b *testing.B) {
+	baseline := telemetryRun(b, nil, nil).EventRate()
+	if baseline <= 0 {
+		b.Fatal("bare run has no event rate")
+	}
+	check := func(b *testing.B, r *stats.Run) {
+		rate := r.EventRate()
+		drift := math.Abs(rate-baseline) / baseline
+		if drift >= 0.05 {
+			b.Fatalf("telemetry overhead %.2f%% >= 5%% (rate %.4g vs bare %.4g)",
+				100*drift, rate, baseline)
+		}
+		b.ReportMetric(rate, "virt-ev/s")
+		b.ReportMetric(100*drift, "overhead-pct")
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		var r *stats.Run
+		for i := 0; i < b.N; i++ {
+			r = telemetryRun(b, nil, nil)
+		}
+		check(b, r)
+	})
+	b.Run("sampler", func(b *testing.B) {
+		b.ReportAllocs()
+		var r *stats.Run
+		for i := 0; i < b.N; i++ {
+			r = telemetryRun(b, metrics.NewRecorder(), nil)
+		}
+		check(b, r)
+	})
+	b.Run("sampler+trace", func(b *testing.B) {
+		b.ReportAllocs()
+		var r *stats.Run
+		for i := 0; i < b.N; i++ {
+			r = telemetryRun(b, metrics.NewRecorder(), trace.NewWriter(io.Discard))
+		}
+		check(b, r)
+	})
 }
 
 func itoa(n int) string {

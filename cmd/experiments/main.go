@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		mdPath   = flag.String("md", "", "also write results as markdown tables to this file")
+		jsonPath = flag.String("report", "", "also write tables + one telemetry run report per execution as JSON to this file")
+		capN     = flag.Int("samplecap", 0, "max telemetry samples per series with -report (0: default)")
 		verbose  = flag.Bool("v", false, "print each run as it completes")
 	)
 	flag.Parse()
@@ -47,6 +50,10 @@ func main() {
 		Seed:           *seed,
 		CAThreshold:    *thresh,
 		Verbose:        *verbose,
+	}
+	if *jsonPath != "" {
+		opt.Reports = metrics.NewReportSet()
+		opt.SampleCap = *capN
 	}
 	for _, part := range strings.Split(*nodes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -94,6 +101,7 @@ func main() {
 
 	fmt.Printf("topology: %d workers/node, %d LPs/worker; end=%v seed=%d nodes=%v\n\n",
 		opt.WorkersPerNode, opt.LPsPerWorker, opt.EndTime, opt.Seed, opt.NodeCounts)
+	var tables []harness.Table
 	for _, e := range todo {
 		table := e.Run(opt, os.Stdout)
 		table.Render(os.Stdout)
@@ -103,5 +111,22 @@ func main() {
 		if md != nil {
 			table.Markdown(md)
 		}
+		tables = append(tables, table)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteJSON(f, tables, opt.Reports); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d tables, %d run reports)\n", *jsonPath, len(tables), opt.Reports.Len())
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/seq"
 	tracepkg "repro/internal/trace"
@@ -39,7 +40,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master RNG seed")
 		queue    = flag.String("queue", "heap", "pending set: heap | calendar")
 		seqCheck = flag.Bool("seq", false, "also run the sequential oracle and verify the commit stream")
-		traceTo  = flag.String("traceout", "", "write a binary run trace (committed events + GVT rounds) to this file")
+		traceTo  = flag.String("traceout", "", "write a binary v1 run trace (commits, rounds, rollbacks, MPI, phases) to this file")
+		reportTo = flag.String("report", "", "write the JSON run report (config, stats, sampled time series) to this file")
+		capN     = flag.Int("samplecap", 0, "max samples per telemetry series (0: default 512)")
+		every    = flag.Int("sampleevery", 0, "base telemetry sampling stride in GVT rounds (0: every round)")
 		verbose  = flag.Bool("v", false, "print per-GVT-round trace")
 	)
 	flag.Parse()
@@ -123,6 +127,9 @@ func main() {
 		traceFile = f
 		cfg.Trace = tracepkg.NewWriter(f)
 	}
+	if *reportTo != "" {
+		cfg.Metrics = &metrics.Recorder{MaxSamples: *capN, Every: *every}
+	}
 
 	eng := core.New(cfg)
 	eng.TraceRounds = *verbose
@@ -141,8 +148,25 @@ func main() {
 		if err := traceFile.Close(); err != nil {
 			fail("trace: %v", err)
 		}
-		fmt.Printf("trace: wrote %d commit and %d round records to %s\n",
-			cfg.Trace.Commits, cfg.Trace.Rounds, *traceTo)
+		t := cfg.Trace
+		fmt.Printf("trace: wrote v%d trace to %s (%d commits, %d rounds, %d rollbacks, %d/%d mpi send/recv, %d phase transitions)\n",
+			tracepkg.Version, *traceTo, t.Commits, t.Rounds, t.Rollbacks, t.MPISends, t.MPIRecvs, t.Phases)
+	}
+	if *reportTo != "" {
+		rep := eng.Report(r)
+		rep.Config.Label = fmt.Sprintf("phold/%s", *scenario)
+		f, err := os.Create(*reportTo)
+		if err != nil {
+			fail("report: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fail("report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("report: %v", err)
+		}
+		fmt.Printf("report: wrote %s (%d round samples, stride %d)\n",
+			*reportTo, len(rep.Rounds), rep.SampleStride)
 	}
 	if *verbose {
 		fmt.Println("\nGVT rounds:")

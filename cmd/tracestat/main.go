@@ -1,27 +1,136 @@
 // Command tracestat analyzes a binary run trace produced with
 // `phold -traceout` (or any engine run with a trace writer): GVT
-// progress, commit-rate timeline, per-LP activity spread, and CA-GVT
-// mode switching.
+// progress, commit-rate timeline, per-LP activity spread, efficiency
+// timeline with CA-GVT switch points, rollback-cascade depth
+// distribution, per-node MPI bandwidth timeline and worker phase
+// breakdown.
 //
 //	go run ./cmd/phold -gvt ca -scenario mixed -traceout run.trace
 //	go run ./cmd/tracestat run.trace
+//	go run ./cmd/tracestat -json run.trace > analysis.json
+//
+// Malformed traces exit with status 1 and the byte offset of the
+// failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 
 	"repro/internal/trace"
 )
 
+// Schema identifies the -json document layout.
+const Schema = "cagvt.tracestat/1"
+
+// timeBucket is one virtual-time slice of a timeline.
+type timeBucket struct {
+	T0    float64 `json:"t0"`
+	T1    float64 `json:"t1"`
+	Count int64   `json:"count"`
+}
+
+// roundPoint is one GVT round on the efficiency timeline.
+type roundPoint struct {
+	Round      int64   `json:"round"`
+	GVT        float64 `json:"gvt"`
+	AtNanos    int64   `json:"at_ns"`
+	Sync       bool    `json:"sync"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// switchPoint is a CA-GVT mode transition: the round where the Sync
+// flag flipped relative to the previous round.
+type switchPoint struct {
+	Round   int64  `json:"round"`
+	AtNanos int64  `json:"at_ns"`
+	To      string `json:"to"` // "sync" or "async"
+}
+
+// depthBucket is one rollback-depth histogram bucket (depth <= Le).
+type depthBucket struct {
+	Le        int64 `json:"le"`
+	Straggler int64 `json:"straggler"`
+	Anti      int64 `json:"anti"`
+}
+
+// rollbackAnalysis aggregates rollback episodes.
+type rollbackAnalysis struct {
+	Episodes   int64         `json:"episodes"`
+	Undone     int64         `json:"undone"`
+	Stragglers int64         `json:"stragglers"`
+	Anti       int64         `json:"anti"`
+	MaxDepth   int64         `json:"max_depth"`
+	MeanDepth  float64       `json:"mean_depth"`
+	Depths     []depthBucket `json:"depth_histogram"`
+}
+
+// nodeBandwidth is one node's outbound MPI traffic over simulated time.
+type nodeBandwidth struct {
+	Node     int          `json:"node"`
+	Messages int64        `json:"messages"`
+	Bytes    int64        `json:"bytes"`
+	Timeline []byteBucket `json:"timeline"`
+}
+
+// byteBucket is one simulated-time slice of MPI traffic.
+type byteBucket struct {
+	T0Nanos int64 `json:"t0_ns"`
+	T1Nanos int64 `json:"t1_ns"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// workerPhases is one worker's duration-weighted phase breakdown.
+type workerPhases struct {
+	Worker       uint32 `json:"worker"`
+	ProcessingNs int64  `json:"processing_ns"`
+	IdleNs       int64  `json:"idle_ns"`
+	BarrierNs    int64  `json:"barrier_ns"`
+	GVTNs        int64  `json:"gvt_ns"`
+	Transitions  int64  `json:"transitions"`
+}
+
+// perLPSpread summarizes committed-event counts across LPs.
+type perLPSpread struct {
+	LPs  int     `json:"lps"`
+	Min  int64   `json:"min"`
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// analysis is the whole -json document.
+type analysis struct {
+	Schema         string           `json:"schema"`
+	TraceVersion   int              `json:"trace_version"`
+	Commits        int64            `json:"commits"`
+	MaxT           float64          `json:"max_t"`
+	CommitTimeline []timeBucket     `json:"commit_timeline"`
+	PerLP          *perLPSpread     `json:"per_lp,omitempty"`
+	Rounds         []roundPoint     `json:"efficiency_timeline"`
+	SwitchPoints   []switchPoint    `json:"switch_points"`
+	Rollbacks      rollbackAnalysis `json:"rollbacks"`
+	MPI            []nodeBandwidth  `json:"mpi_bandwidth"`
+	Phases         []workerPhases   `json:"phase_breakdown"`
+}
+
+// phaseState tracks one worker's open phase interval while scanning.
+type phaseState struct {
+	phase uint8
+	since int64
+	agg   workerPhases
+}
+
 func main() {
 	buckets := flag.Int("buckets", 20, "timeline resolution (virtual-time buckets)")
+	asJSON := flag.Bool("json", false, "emit the analyses as one JSON document")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat [-buckets n] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-buckets n] [-json] <trace-file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -32,100 +141,348 @@ func main() {
 	defer f.Close()
 
 	var (
-		commits []trace.Commit
-		rounds  []trace.Round
+		commits   []trace.Commit
+		rounds    []trace.Round
+		rollbacks []trace.Rollback
+		sends     []trace.MPISend
+		phases    = map[uint32]*phaseState{}
+		maxAt     int64
 	)
 	r := trace.NewReader(f)
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
+	seeAt := func(at int64) {
+		if at > maxAt {
+			maxAt = at
 		}
-		if err != nil {
+	}
+	err = r.ForEach(trace.Visitor{
+		Commit: func(c trace.Commit) { commits = append(commits, c) },
+		Round:  func(rd trace.Round) { rounds = append(rounds, rd); seeAt(rd.AtNanos) },
+		Rollback: func(rb trace.Rollback) {
+			rollbacks = append(rollbacks, rb)
+			seeAt(rb.AtNanos)
+		},
+		MPISend: func(m trace.MPISend) { sends = append(sends, m); seeAt(m.AtNanos) },
+		MPIRecv: func(m trace.MPIRecv) { seeAt(m.AtNanos) },
+		Phase: func(p trace.Phase) {
+			st := phases[p.Worker]
+			if st == nil {
+				st = &phaseState{phase: p.Phase, since: p.AtNanos}
+				st.agg.Worker = p.Worker
+				phases[p.Worker] = st
+			} else {
+				st.addUntil(p.AtNanos)
+				st.phase = p.Phase
+				st.since = p.AtNanos
+			}
+			st.agg.Transitions++
+			seeAt(p.AtNanos)
+		},
+	})
+	if err != nil {
+		// The reader's errors carry the byte offset of the failure.
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	version, _ := r.Version()
+
+	a := build(version, *buckets, commits, rounds, rollbacks, sends, phases, maxAt)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(a); err != nil {
 			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
 			os.Exit(1)
 		}
-		switch v := rec.(type) {
-		case trace.Commit:
-			commits = append(commits, v)
-		case trace.Round:
-			rounds = append(rounds, v)
-		}
-	}
-	if len(commits) == 0 {
-		fmt.Println("no committed events in trace")
 		return
 	}
+	render(a)
+}
 
-	maxT := 0.0
+// addUntil closes the worker's open phase interval at time at.
+func (st *phaseState) addUntil(at int64) {
+	d := at - st.since
+	if d < 0 {
+		d = 0
+	}
+	switch st.phase {
+	case trace.PhaseProcessing:
+		st.agg.ProcessingNs += d
+	case trace.PhaseIdle:
+		st.agg.IdleNs += d
+	case trace.PhaseBarrier:
+		st.agg.BarrierNs += d
+	case trace.PhaseGVT:
+		st.agg.GVTNs += d
+	}
+}
+
+// build assembles every analysis from the collected records.
+func build(version, buckets int, commits []trace.Commit, rounds []trace.Round,
+	rollbacks []trace.Rollback, sends []trace.MPISend,
+	phases map[uint32]*phaseState, maxAt int64) *analysis {
+
+	a := &analysis{
+		Schema:         Schema,
+		TraceVersion:   version,
+		Commits:        int64(len(commits)),
+		CommitTimeline: []timeBucket{},
+		Rounds:         []roundPoint{},
+		SwitchPoints:   []switchPoint{},
+		MPI:            []nodeBandwidth{},
+		Phases:         []workerPhases{},
+	}
+	a.Rollbacks.Depths = []depthBucket{}
+
+	// Commit timeline and per-LP spread.
 	perLP := map[uint32]int64{}
 	for _, c := range commits {
-		if c.T > maxT {
-			maxT = c.T
+		if c.T > a.MaxT {
+			a.MaxT = c.T
 		}
 		perLP[c.LP]++
 	}
-
-	fmt.Printf("trace: %d committed events over %d LPs, %d GVT rounds, virtual time span [0, %.4g]\n",
-		len(commits), len(perLP), len(rounds), maxT)
-
-	// Commit timeline by virtual time.
-	fmt.Println("\ncommit timeline (virtual time buckets):")
-	hist := make([]int, *buckets)
-	for _, c := range commits {
-		i := int(c.T / maxT * float64(*buckets))
-		if i >= *buckets {
-			i = *buckets - 1
+	if len(commits) > 0 && a.MaxT > 0 {
+		hist := make([]int64, buckets)
+		for _, c := range commits {
+			i := int(c.T / a.MaxT * float64(buckets))
+			if i >= buckets {
+				i = buckets - 1
+			}
+			hist[i]++
 		}
-		hist[i]++
-	}
-	peak := 0
-	for _, h := range hist {
-		if h > peak {
-			peak = h
+		for i, h := range hist {
+			a.CommitTimeline = append(a.CommitTimeline, timeBucket{
+				T0:    float64(i) * a.MaxT / float64(buckets),
+				T1:    float64(i+1) * a.MaxT / float64(buckets),
+				Count: h,
+			})
+		}
+		counts := make([]int64, 0, len(perLP))
+		var total int64
+		for _, c := range perLP {
+			counts = append(counts, c)
+			total += c
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+		a.PerLP = &perLPSpread{
+			LPs: len(counts), Min: counts[0],
+			P50: counts[len(counts)/2], P90: counts[len(counts)*9/10],
+			Max: counts[len(counts)-1], Mean: float64(total) / float64(len(counts)),
 		}
 	}
-	for i, h := range hist {
-		bar := ""
-		if peak > 0 {
-			bar = repeat('#', h*50/peak)
+
+	// Efficiency timeline + CA-GVT switch points.
+	for i, rd := range rounds {
+		a.Rounds = append(a.Rounds, roundPoint{
+			Round: rd.Round, GVT: rd.GVT, AtNanos: rd.AtNanos,
+			Sync: rd.Sync, Efficiency: rd.Efficiency,
+		})
+		if i > 0 && rd.Sync != rounds[i-1].Sync {
+			to := "async"
+			if rd.Sync {
+				to = "sync"
+			}
+			a.SwitchPoints = append(a.SwitchPoints, switchPoint{
+				Round: rd.Round, AtNanos: rd.AtNanos, To: to,
+			})
 		}
-		fmt.Printf("  [%6.4g, %6.4g) %7d %s\n",
-			float64(i)*maxT/float64(*buckets), float64(i+1)*maxT/float64(*buckets), h, bar)
 	}
 
-	// Per-LP spread.
-	counts := make([]int64, 0, len(perLP))
-	var total int64
-	for _, c := range perLP {
-		counts = append(counts, c)
-		total += c
+	// Rollback-cascade depth distribution (log2 buckets).
+	const depthBuckets = 24
+	var strag, anti [depthBuckets]int64
+	for _, rb := range rollbacks {
+		a.Rollbacks.Episodes++
+		a.Rollbacks.Undone += int64(rb.Depth)
+		if int64(rb.Depth) > a.Rollbacks.MaxDepth {
+			a.Rollbacks.MaxDepth = int64(rb.Depth)
+		}
+		i := 0
+		for d := int64(rb.Depth); d > 1; d >>= 1 {
+			i++
+		}
+		if i >= depthBuckets {
+			i = depthBuckets - 1
+		}
+		if rb.Anti {
+			a.Rollbacks.Anti++
+			anti[i]++
+		} else {
+			a.Rollbacks.Stragglers++
+			strag[i]++
+		}
 	}
-	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
-	fmt.Printf("\nper-LP committed events: min=%d p50=%d p90=%d max=%d mean=%.1f\n",
-		counts[0], counts[len(counts)/2], counts[len(counts)*9/10],
-		counts[len(counts)-1], float64(total)/float64(len(counts)))
+	if a.Rollbacks.Episodes > 0 {
+		a.Rollbacks.MeanDepth = float64(a.Rollbacks.Undone) / float64(a.Rollbacks.Episodes)
+	}
+	for i := 0; i < depthBuckets; i++ {
+		if strag[i] == 0 && anti[i] == 0 {
+			continue
+		}
+		// Bucket i holds depths in [2^i, 2^(i+1)-1].
+		le := int64(1)<<(i+1) - 1
+		if le > a.Rollbacks.MaxDepth {
+			le = a.Rollbacks.MaxDepth
+		}
+		a.Rollbacks.Depths = append(a.Rollbacks.Depths, depthBucket{
+			Le: le, Straggler: strag[i], Anti: anti[i],
+		})
+	}
 
-	if len(rounds) > 0 {
+	// Per-node MPI bandwidth timeline.
+	perNode := map[int]*nodeBandwidth{}
+	for _, m := range sends {
+		nb := perNode[int(m.Src)]
+		if nb == nil {
+			nb = &nodeBandwidth{Node: int(m.Src)}
+			perNode[int(m.Src)] = nb
+		}
+		nb.Messages++
+		nb.Bytes += int64(m.Bytes)
+	}
+	if len(sends) > 0 && maxAt > 0 {
+		for _, nb := range perNode {
+			nb.Timeline = make([]byteBucket, buckets)
+			for i := range nb.Timeline {
+				nb.Timeline[i] = byteBucket{
+					T0Nanos: int64(i) * maxAt / int64(buckets),
+					T1Nanos: int64(i+1) * maxAt / int64(buckets),
+				}
+			}
+		}
+		for _, m := range sends {
+			i := int(m.AtNanos * int64(buckets) / maxAt)
+			if i >= buckets {
+				i = buckets - 1
+			}
+			perNode[int(m.Src)].Timeline[i].Bytes += int64(m.Bytes)
+		}
+	}
+	nodeIDs := make([]int, 0, len(perNode))
+	for id := range perNode {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Ints(nodeIDs)
+	for _, id := range nodeIDs {
+		a.MPI = append(a.MPI, *perNode[id])
+	}
+
+	// Worker phase breakdown: close each open interval at the last
+	// simulated timestamp seen in the trace.
+	workerIDs := make([]uint32, 0, len(phases))
+	for id := range phases {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Slice(workerIDs, func(i, j int) bool { return workerIDs[i] < workerIDs[j] })
+	for _, id := range workerIDs {
+		st := phases[id]
+		st.addUntil(maxAt)
+		st.since = maxAt
+		a.Phases = append(a.Phases, st.agg)
+	}
+	return a
+}
+
+// render prints the human-readable report.
+func render(a *analysis) {
+	fmt.Printf("trace: format v%d, %d committed events, %d GVT rounds, virtual time span [0, %.4g]\n",
+		a.TraceVersion, a.Commits, len(a.Rounds), a.MaxT)
+
+	if len(a.CommitTimeline) > 0 {
+		fmt.Println("\ncommit timeline (virtual time buckets):")
+		var peak int64
+		for _, b := range a.CommitTimeline {
+			if b.Count > peak {
+				peak = b.Count
+			}
+		}
+		for _, b := range a.CommitTimeline {
+			bar := ""
+			if peak > 0 {
+				bar = repeat('#', int(b.Count*50/peak))
+			}
+			fmt.Printf("  [%6.4g, %6.4g) %7d %s\n", b.T0, b.T1, b.Count, bar)
+		}
+	}
+	if a.PerLP != nil {
+		fmt.Printf("\nper-LP committed events: min=%d p50=%d p90=%d max=%d mean=%.1f\n",
+			a.PerLP.Min, a.PerLP.P50, a.PerLP.P90, a.PerLP.Max, a.PerLP.Mean)
+	}
+
+	if len(a.Rounds) > 0 {
 		sync := 0
-		for _, rd := range rounds {
+		for _, rd := range a.Rounds {
 			if rd.Sync {
 				sync++
 			}
 		}
-		last := rounds[len(rounds)-1]
-		fmt.Printf("\nGVT rounds: %d (%d synchronous), final GVT %.6g at %.3fms virtual\n",
-			len(rounds), sync, last.GVT, float64(last.AtNanos)/1e6)
-		fmt.Println("\nGVT progress (every ~10th round):")
-		stride := len(rounds)/10 + 1
-		for i := 0; i < len(rounds); i += stride {
-			rd := rounds[i]
+		last := a.Rounds[len(a.Rounds)-1]
+		fmt.Printf("\nefficiency timeline: %d rounds (%d synchronous), final GVT %.6g at %.3fms virtual\n",
+			len(a.Rounds), sync, last.GVT, float64(last.AtNanos)/1e6)
+		stride := len(a.Rounds)/10 + 1
+		for i := 0; i < len(a.Rounds); i += stride {
+			rd := a.Rounds[i]
 			mode := "async"
 			if rd.Sync {
 				mode = "SYNC"
 			}
 			fmt.Printf("  round %4d: gvt=%-10.4g eff=%5.1f%% %s\n",
 				rd.Round, rd.GVT, 100*rd.Efficiency, mode)
+		}
+	}
+	if len(a.SwitchPoints) > 0 {
+		fmt.Printf("\nCA-GVT switch points (%d):\n", len(a.SwitchPoints))
+		for _, sp := range a.SwitchPoints {
+			fmt.Printf("  round %4d at %9.3fms: -> %s\n", sp.Round, float64(sp.AtNanos)/1e6, sp.To)
+		}
+	}
+
+	if a.Rollbacks.Episodes > 0 {
+		rb := &a.Rollbacks
+		fmt.Printf("\nrollback cascades: %d episodes (%d straggler, %d anti), %d events undone, depth mean=%.1f max=%d\n",
+			rb.Episodes, rb.Stragglers, rb.Anti, rb.Undone, rb.MeanDepth, rb.MaxDepth)
+		fmt.Println("  depth distribution (episodes with depth <= N):")
+		for _, b := range rb.Depths {
+			fmt.Printf("    <=%6d: %6d straggler, %6d anti\n", b.Le, b.Straggler, b.Anti)
+		}
+	}
+
+	if len(a.MPI) > 0 {
+		fmt.Println("\nper-node MPI bandwidth (outbound data plane):")
+		for _, nb := range a.MPI {
+			fmt.Printf("  node %2d: %d msgs, %d bytes\n", nb.Node, nb.Messages, nb.Bytes)
+			if len(nb.Timeline) > 0 {
+				var peak int64
+				for _, b := range nb.Timeline {
+					if b.Bytes > peak {
+						peak = b.Bytes
+					}
+				}
+				for _, b := range nb.Timeline {
+					if b.Bytes == 0 {
+						continue
+					}
+					fmt.Printf("    [%8.3f, %8.3f)ms %9d B %s\n",
+						float64(b.T0Nanos)/1e6, float64(b.T1Nanos)/1e6, b.Bytes,
+						repeat('#', int(b.Bytes*40/peak)))
+				}
+			}
+		}
+	}
+
+	if len(a.Phases) > 0 {
+		fmt.Println("\nworker phase breakdown (virtual time):")
+		fmt.Println("  worker  processing      idle   barrier       gvt")
+		for _, ph := range a.Phases {
+			total := ph.ProcessingNs + ph.IdleNs + ph.BarrierNs + ph.GVTNs
+			if total == 0 {
+				total = 1
+			}
+			fmt.Printf("  %6d  %9.1f%% %8.1f%% %8.1f%% %8.1f%%\n", ph.Worker,
+				100*float64(ph.ProcessingNs)/float64(total),
+				100*float64(ph.IdleNs)/float64(total),
+				100*float64(ph.BarrierNs)/float64(total),
+				100*float64(ph.GVTNs)/float64(total))
 		}
 	}
 }

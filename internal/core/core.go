@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/fabric"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -158,10 +159,17 @@ type Config struct {
 
 	Model ModelFactory
 
-	// Trace, when non-nil, receives a record for every committed event and
-	// every completed GVT round (ROSS-style event tracing). The caller
-	// flushes it after Run.
+	// Trace, when non-nil, receives a record for every committed event,
+	// every completed GVT round, every rollback episode, every MPI
+	// data-plane send/receive and every worker phase transition
+	// (ROSS-style event tracing, format v1). The caller flushes it after
+	// Run.
 	Trace *trace.Writer
+
+	// Metrics, when non-nil, is driven by the engine: per-GVT-round
+	// cluster and per-worker time series plus engine histograms, exported
+	// with Engine.Report after Run.
+	Metrics *metrics.Recorder
 }
 
 // Defaults fills zero-valued fields with paper-flavoured defaults.
@@ -237,6 +245,13 @@ type Engine struct {
 	disparity   stats.Disparity
 	roundTraces []RoundTrace
 
+	// telemetry instruments, resolved once at construction (nil when
+	// Config.Metrics is nil) so hot paths pay a nil check, not a map
+	// lookup.
+	hRollbackDepth *metrics.Histogram
+	hInboxBatch    *metrics.Histogram
+	hOutboxDepth   *metrics.Histogram
+
 	// TraceRounds enables per-round trace collection (RoundTraces).
 	TraceRounds bool
 }
@@ -261,6 +276,13 @@ func New(cfg Config) *Engine {
 	eng := &Engine{cfg: cfg, env: sim.NewEnv()}
 	eng.env.LivelockLimit = 500_000_000
 	eng.world = mpi.NewWorld(eng.env, cfg.Topology.Nodes, cfg.Net, cfg.MPICosts)
+	if rec := cfg.Metrics; rec != nil {
+		rec.Init(cfg.Topology.TotalWorkers())
+		reg := rec.Registry()
+		eng.hRollbackDepth = reg.Histogram("rollback_depth")
+		eng.hInboxBatch = reg.Histogram("inbox_drain_batch")
+		eng.hOutboxDepth = reg.Histogram("mpi_outbox_depth")
+	}
 	// LPs are created in global id order, so one substream sequence hands
 	// every LP the stream NewAt(seed, id) in O(1) jumps each.
 	streams := rng.NewSequence(cfg.Seed)
@@ -336,12 +358,38 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 	e.finalGVT = gvt
 	e.finishedAt = e.env.Now()
 	lvts := make([]float64, 0, e.cfg.Topology.TotalWorkers())
+	var scratch []metrics.WorkerSample
+	if e.cfg.Metrics != nil {
+		scratch = e.cfg.Metrics.Scratch()
+	}
 	for _, nd := range e.nodes {
 		for _, w := range nd.workers {
-			lvts = append(lvts, w.localMinView())
+			lvt := w.localMinView()
+			lvts = append(lvts, lvt)
+			if scratch != nil {
+				scratch[w.gidx] = metrics.WorkerSample{
+					LVT:           metrics.SafeLVT(lvt),
+					Pending:       w.pending.Len(),
+					Mailbox:       len(w.inbox),
+					Uncommitted:   w.uncommitted,
+					Rollbacks:     w.st.Rollbacks,
+					RolledBack:    w.st.RolledBack,
+					BarrierWaitNs: int64(w.st.BarrierWait),
+				}
+			}
 		}
 	}
 	e.disparity.Observe(lvts)
+	if scratch != nil {
+		f := e.world.Fabric()
+		inMsgs, inBytes := f.InFlight()
+		e.cfg.Metrics.SampleRound(metrics.RoundSample{
+			Round: e.gvtRounds, GVT: gvt, AtNanos: int64(e.env.Now()),
+			Sync: sync, Efficiency: eff,
+			MPIInFlightMsgs: inMsgs, MPIInFlightBytes: inBytes,
+			MPISentMsgs: f.MessagesSent, MPISentBytes: f.BytesSent,
+		}, scratch)
+	}
 	if e.cfg.Trace != nil {
 		e.cfg.Trace.Round(trace.Round{
 			Round: e.gvtRounds, GVT: gvt, AtNanos: int64(e.env.Now()),
@@ -353,6 +401,55 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 			Round: e.gvtRounds, GVT: gvt, At: e.env.Now(), Sync: sync, Efficiency: eff,
 		})
 	}
+}
+
+// Report assembles the machine-readable run report from a completed
+// run's statistics, the configuration, and (when Config.Metrics was set)
+// the sampled time series and registry contents.
+func (e *Engine) Report(r *stats.Run) *metrics.Report {
+	cfg := &e.cfg
+	rc := metrics.RunConfig{
+		Nodes:              cfg.Topology.Nodes,
+		WorkersPerNode:     cfg.Topology.WorkersPerNode,
+		LPsPerWorker:       cfg.Topology.LPsPerWorker,
+		GVT:                cfg.GVT.String(),
+		Comm:               cfg.Comm.String(),
+		GVTInterval:        cfg.GVTInterval,
+		CAThreshold:        cfg.CAThreshold,
+		EndTime:            float64(cfg.EndTime),
+		Seed:               cfg.Seed,
+		QueueKind:          cfg.QueueKind,
+		BatchSize:          cfg.BatchSize,
+		CheckpointInterval: cfg.CheckpointInterval,
+		MaxUncommitted:     cfg.MaxUncommitted,
+	}
+	rs := metrics.RunStats{
+		WallNanos:      int64(r.WallTime),
+		Committed:      r.Workers.Committed,
+		Processed:      r.Workers.Processed,
+		RolledBack:     r.Workers.RolledBack,
+		Rollbacks:      r.Workers.Rollbacks,
+		Stragglers:     r.Workers.Stragglers,
+		AntiRollbacks:  r.Workers.AntiRollbck,
+		Efficiency:     r.Efficiency(),
+		EventRate:      r.EventRate(),
+		GVTRounds:      r.GVTRounds,
+		SyncRounds:     r.SyncRounds,
+		FinalGVT:       r.FinalGVT,
+		Disparity:      r.Disparity,
+		SentLocal:      r.Workers.SentLocal,
+		SentRegional:   r.Workers.SentRegion,
+		SentRemote:     r.Workers.SentRemote,
+		AntiSent:       r.Workers.AntiSent,
+		Annihilated:    r.Workers.Annihilated,
+		BarrierWaitNs:  int64(r.Workers.BarrierWait),
+		IdleNs:         int64(r.Workers.IdleTime),
+		GVTTimeNs:      int64(r.Workers.GVTTime),
+		MPIMessages:    r.MPIMessages,
+		MPIBytes:       r.MPIBytes,
+		CommitChecksum: metrics.Checksum(r.CommitChecksum),
+	}
+	return metrics.BuildReport(rc, rs, e.cfg.Metrics, cfg.Topology.WorkersPerNode)
 }
 
 // clusterEfficiency returns cumulative committed-so-far efficiency, the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -32,9 +33,10 @@ func (w *worker) barrierWorkerRound() {
 	n := w.node
 	p := w.proc
 	cost := &w.eng.cfg.Cost
-	st := &workerBarrierStats{wait: &w.st.BarrierWait}
+	st := &workerBarrierStats{wait: &w.st.BarrierWait, w: w}
 	comm := w.commRole() == commPumpAndGVT
 	gvtStart := p.Now()
+	w.setPhase(trace.PhaseGVT)
 
 	for {
 		// ReadMessages(): keep receiving so in-transit counts can drain.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -132,7 +133,7 @@ func (w *worker) matternPoll() {
 	p := w.proc
 	cost := &w.eng.cfg.Cost
 	ca := w.eng.cfg.GVT == GVTControlled
-	st := &workerBarrierStats{wait: &w.st.BarrierWait}
+	st := &workerBarrierStats{wait: &w.st.BarrierWait, w: w}
 	isCommLeader := w.commRole() == commPumpAndGVT
 
 	switch w.mstate {
@@ -149,6 +150,7 @@ func (w *worker) matternPoll() {
 		}
 		cm.roundStart = true
 		w.passes = 0
+		w.setPhase(trace.PhaseGVT)
 		if ca && cm.syncCur {
 			w.node.syncPoint(p, isCommLeader, true, st)
 		}
@@ -169,6 +171,7 @@ func (w *worker) matternPoll() {
 		if cm.phase < phWhiteDone {
 			return
 		}
+		w.setPhase(trace.PhaseGVT)
 		if ca && cm.syncCur {
 			// Algorithm 3 line 14: align before contributing minima.
 			w.node.syncPoint(p, isCommLeader, false, st)
@@ -190,6 +193,7 @@ func (w *worker) matternPoll() {
 		if cm.phase < phGVTReady {
 			return
 		}
+		w.setPhase(trace.PhaseGVT)
 		// No flip back: the round's new epoch is the stable epoch until
 		// the next round drains it.
 		w.applyGVT(cm.gvt)

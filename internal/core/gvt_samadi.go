@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/event"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -165,9 +166,10 @@ func (w *worker) samadiPoll() {
 	w.passes = 0
 	n := w.node
 	p := w.proc
-	st := &workerBarrierStats{wait: &w.st.BarrierWait}
+	st := &workerBarrierStats{wait: &w.st.BarrierWait, w: w}
 	comm := w.commRole() == commPumpAndGVT
 	gvtStart := p.Now()
+	w.setPhase(trace.PhaseGVT)
 
 	n.localMin[w.idx] = w.samadiReport()
 	p.Advance(w.eng.cfg.Cost.BarrierEntry)

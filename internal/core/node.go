@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MPI tags used by the engine.
@@ -114,12 +115,15 @@ const pumpBudget = 32
 // workers' mailboxes. It returns whether any message moved.
 func (n *node) pump(p *sim.Proc) bool {
 	worked := false
+	tr := n.eng.cfg.Trace
 	// Outbound: take a bounded batch from the outbox under the shared lock.
 	n.outMu.Lock(p)
 	out := n.outbox
+	backlog := 0
 	if len(out) > pumpBudget {
 		out = out[:pumpBudget]
 		n.outbox = n.outbox[pumpBudget:]
+		backlog = len(n.outbox)
 	} else {
 		n.outbox = nil
 	}
@@ -127,6 +131,12 @@ func (n *node) pump(p *sim.Proc) bool {
 	for _, ev := range out {
 		dst := n.eng.cfg.Topology.NodeOf(ev.Dst)
 		n.rank.Send(p, dst, tagEvents, ev.WireSize(), ev)
+		if tr != nil {
+			tr.MPISend(trace.MPISend{
+				Src: uint16(n.id), Dst: uint16(dst), Bytes: uint32(ev.WireSize()),
+				QueueDepth: uint32(backlog), AtNanos: int64(p.Now()),
+			})
+		}
 		worked = true
 	}
 	// Outbound acknowledgements (Samadi GVT only).
@@ -141,6 +151,12 @@ func (n *node) pump(p *sim.Proc) bool {
 	n.outMu.Unlock(p)
 	for _, ra := range acks {
 		n.rank.Send(p, ra.dstNode, tagAcks, ackWire, ra.a)
+		if tr != nil {
+			tr.MPISend(trace.MPISend{
+				Src: uint16(n.id), Dst: uint16(ra.dstNode), Bytes: ackWire,
+				AtNanos: int64(p.Now()),
+			})
+		}
 		worked = true
 	}
 	// Inbound: drain waiting event messages, up to the budget.
@@ -152,6 +168,12 @@ func (n *node) pump(p *sim.Proc) bool {
 		ev := m.Payload.(*event.Event)
 		_, wi := n.eng.cfg.Topology.WorkerOf(ev.Dst)
 		n.workers[wi].deposit(p, ev)
+		if tr != nil {
+			tr.MPIRecv(trace.MPIRecv{
+				Src: uint16(m.Src), Dst: uint16(n.id), Bytes: uint32(m.Size),
+				QueueDepth: uint32(len(n.workers[wi].inbox)), AtNanos: int64(p.Now()),
+			})
+		}
 		worked = true
 	}
 	// Inbound acknowledgements.
@@ -163,6 +185,12 @@ func (n *node) pump(p *sim.Proc) bool {
 		a := m.Payload.(ack)
 		wpn := n.eng.cfg.Topology.WorkersPerNode
 		n.workers[a.dstWorker%wpn].depositAck(p, a)
+		if tr != nil {
+			tr.MPIRecv(trace.MPIRecv{
+				Src: uint16(m.Src), Dst: uint16(n.id), Bytes: uint32(m.Size),
+				AtNanos: int64(p.Now()),
+			})
+		}
 		worked = true
 	}
 	return worked
@@ -188,6 +216,9 @@ func (n *node) enqueueRemote(p *sim.Proc, ev *event.Event) {
 	n.outMu.Lock(p)
 	p.Advance(n.eng.cfg.Cost.RemoteEnqueue)
 	n.outbox = append(n.outbox, ev)
+	if h := n.eng.hOutboxDepth; h != nil {
+		h.Observe(int64(len(n.outbox)))
+	}
 	n.outMu.Unlock(p)
 }
 
@@ -230,14 +261,27 @@ func (n *node) syncPoint(p *sim.Proc, comm, global bool, st *workerBarrierStats)
 	n.barrierWait(p, n.gvtBar2, st)
 }
 
-// workerBarrierStats lets barrier idle time be attributed to a worker;
-// the dedicated comm thread passes nil.
-type workerBarrierStats struct{ wait *sim.Time }
+// workerBarrierStats lets barrier idle time (and the barrier phase in
+// the trace) be attributed to a worker; the dedicated comm thread
+// passes nil.
+type workerBarrierStats struct {
+	wait *sim.Time
+	w    *worker
+}
 
 func (n *node) barrierWait(p *sim.Proc, b *sim.Barrier, st *workerBarrierStats) {
 	start := p.Now()
+	if st != nil && st.w != nil {
+		st.w.setPhase(trace.PhaseBarrier)
+	}
 	b.Wait(p)
-	if st != nil && st.wait != nil {
-		*st.wait += p.Now() - start
+	if st != nil {
+		if st.wait != nil {
+			*st.wait += p.Now() - start
+		}
+		if st.w != nil {
+			// Back inside GVT protocol steps once released.
+			st.w.setPhase(trace.PhaseGVT)
+		}
 	}
 }

@@ -65,6 +65,10 @@ type worker struct {
 	mstate     int     // Mattern worker phase (wIdle/wRed/wDone)
 	syncFlag   bool    // CA-GVT: this round runs with barriers
 
+	// phase is the last phase written to the trace (trace.Phase*);
+	// 0xFF until the first transition so the initial phase is recorded.
+	phase uint8
+
 	st stats.Worker
 }
 
@@ -76,6 +80,7 @@ func newWorker(eng *Engine, n *node, idx int, streams *rng.Sequence) *worker {
 		gidx:    n.id*eng.cfg.Topology.WorkersPerNode + idx,
 		pending: eventq.New(eng.cfg.QueueKind),
 		minRed:  vtime.Inf,
+		phase:   0xFF,
 	}
 	w.inMu.Name = fmt.Sprintf("inbox-%d/%d", n.id, idx)
 	w.inMu.HoldCost = eng.cfg.Cost.RegionalLockHold
@@ -141,6 +146,11 @@ func (w *worker) run(p *sim.Proc) {
 				worked = true
 			}
 		}
+		if worked {
+			w.setPhase(trace.PhaseProcessing)
+		} else {
+			w.setPhase(trace.PhaseIdle)
+		}
 		w.gvtPoll(worked)
 		if !worked {
 			w.st.IdleTime += cfg.Cost.IdlePoll
@@ -148,6 +158,19 @@ func (w *worker) run(p *sim.Proc) {
 		}
 	}
 	w.node.workersExited++
+}
+
+// setPhase records a worker phase transition in the trace. Repeated
+// calls with the current phase are free, so callers mark phases
+// unconditionally at the points they begin.
+func (w *worker) setPhase(ph uint8) {
+	if w.phase == ph {
+		return
+	}
+	w.phase = ph
+	if t := w.eng.cfg.Trace; t != nil {
+		t.Phase(trace.Phase{Worker: uint32(w.gidx), Phase: ph, AtNanos: int64(w.proc.Now())})
+	}
 }
 
 // commRoleKind describes what communication duties this worker carries.
@@ -186,6 +209,9 @@ func (w *worker) drainInbox() bool {
 	w.inMu.Unlock(w.proc)
 	if len(batch) == 0 {
 		return false
+	}
+	if h := w.eng.hInboxBatch; h != nil {
+		h.Observe(int64(len(batch)))
 	}
 	// Charge the per-message drain cost for the whole batch up front (one
 	// kernel transition instead of one per message).
@@ -402,6 +428,17 @@ func (w *worker) rollback(l *lp, s vtime.Stamp, straggler bool) {
 		w.st.Stragglers++
 	} else {
 		w.st.AntiRollbck++
+	}
+	if h := w.eng.hRollbackDepth; h != nil {
+		h.Observe(int64(len(popped)))
+	}
+	if t := cfg.Trace; t != nil {
+		t.Rollback(trace.Rollback{
+			Worker: uint32(w.gidx), LP: uint32(l.id), Anti: !straggler,
+			Depth: uint32(len(popped)),
+			From:  popped[0].ev.Stamp.T, To: popped[len(popped)-1].ev.Stamp.T,
+			AtNanos: int64(w.proc.Now()),
+		})
 	}
 
 	// Re-enqueue the undone events and collect cancellations.

@@ -58,8 +58,10 @@ type Fabric struct {
 	// message is overtaken in raw transfer time by a small one.
 	lastArrival map[linkKey]sim.Time
 	// Stats
-	MessagesSent int64
-	BytesSent    int64
+	MessagesSent      int64
+	BytesSent         int64
+	MessagesDelivered int64
+	BytesDelivered    int64
 }
 
 type linkKey struct{ src, dst int }
@@ -99,5 +101,15 @@ func (f *Fabric) Send(pkt Packet) {
 	f.lastArrival[key] = arrival
 	f.MessagesSent++
 	f.BytesSent += int64(pkt.Size)
-	f.env.After(arrival-f.env.Now(), func() { h(pkt) })
+	f.env.After(arrival-f.env.Now(), func() {
+		f.MessagesDelivered++
+		f.BytesDelivered += int64(pkt.Size)
+		h(pkt)
+	})
+}
+
+// InFlight returns the messages and bytes currently on the wire: sent
+// but not yet delivered.
+func (f *Fabric) InFlight() (msgs, bytes int64) {
+	return f.MessagesSent - f.MessagesDelivered, f.BytesSent - f.BytesDelivered
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/stats"
 	"repro/internal/vtime"
@@ -35,6 +36,13 @@ type Options struct {
 	NodeCounts  []int
 	CAThreshold float64
 	Verbose     bool // print each run's summary line as it finishes
+
+	// Reports, when non-nil, collects one telemetry run report per engine
+	// execution (with per-round time series sampled at SampleCap points).
+	Reports *metrics.ReportSet
+	// SampleCap bounds each run's sampled series length (0: recorder
+	// default).
+	SampleCap int
 }
 
 // DefaultOptions returns the standard scaled-down configuration.
@@ -51,15 +59,15 @@ func DefaultOptions() Options {
 
 // Cell is one measured run.
 type Cell struct {
-	Rate        float64 // committed events per virtual second
-	Efficiency  float64
-	Rollbacks   int64
-	Committed   int64
-	WallTime    float64 // virtual seconds
-	Disparity   float64
-	SyncRounds  int64
-	GVTRounds   int64
-	BarrierWait float64 // virtual seconds summed over workers
+	Rate        float64 `json:"rate"` // committed events per virtual second
+	Efficiency  float64 `json:"efficiency"`
+	Rollbacks   int64   `json:"rollbacks"`
+	Committed   int64   `json:"committed"`
+	WallTime    float64 `json:"wall_s"` // virtual seconds
+	Disparity   float64 `json:"disparity"`
+	SyncRounds  int64   `json:"sync_rounds"`
+	GVTRounds   int64   `json:"gvt_rounds"`
+	BarrierWait float64 `json:"barrier_wait_s"` // virtual seconds summed over workers
 }
 
 func cellOf(r *stats.Run) Cell {
@@ -78,18 +86,18 @@ func cellOf(r *stats.Run) Cell {
 
 // Series is one curve of a figure.
 type Series struct {
-	Label string
-	Cells []Cell
+	Label string `json:"label"`
+	Cells []Cell `json:"cells"`
 }
 
 // Table is one reproduced figure or text statistic.
 type Table struct {
-	ID     string
-	Title  string
-	Paper  string // what the paper reports (the shape to compare against)
-	XLabel string
-	XVals  []string
-	Series []Series
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Paper  string   `json:"paper,omitempty"` // what the paper reports (the shape to compare against)
+	XLabel string   `json:"x_label"`
+	XVals  []string `json:"x_vals"`
+	Series []Series `json:"series"`
 }
 
 // Experiment is a registered, runnable experiment.
@@ -181,9 +189,18 @@ func (s runSpec) execute(opt Options, w io.Writer) Cell {
 		CheckpointInterval: s.checkpoint,
 		Model:              s.model(opt, top),
 	}
-	r, err := core.New(cfg).Run()
+	if opt.Reports != nil {
+		cfg.Metrics = &metrics.Recorder{MaxSamples: opt.SampleCap}
+	}
+	eng := core.New(cfg)
+	r, err := eng.Run()
 	if err != nil {
 		panic(fmt.Sprintf("harness: run %+v failed: %v", s, err))
+	}
+	if opt.Reports != nil {
+		rep := eng.Report(r)
+		rep.Config.Label = fmt.Sprintf("%dn/%v/%v/wl%d", s.nodes, s.gvt, s.comm, s.workload)
+		opt.Reports.Add(rep)
 	}
 	if opt.Verbose && w != nil {
 		fmt.Fprintf(w, "  [%d nodes %v/%v wl=%d] rate=%.4g eff=%.1f%% rb=%d\n",

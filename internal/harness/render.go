@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // RenderAll runs and renders a set of experiments, returning the tables.
@@ -18,6 +21,33 @@ func RenderAll(exps []Experiment, opt Options, w io.Writer, csv io.Writer) []Tab
 		tables = append(tables, t)
 	}
 	return tables
+}
+
+// SuiteSchema identifies the experiment-suite JSON document layout.
+const SuiteSchema = "cagvt.experiment-suite/1"
+
+// suiteDoc is the JSON document WriteJSON emits: the rendered tables
+// plus, when report collection was enabled, one telemetry run report per
+// engine execution.
+type suiteDoc struct {
+	Schema  string            `json:"schema"`
+	Tables  []Table           `json:"tables"`
+	Reports []*metrics.Report `json:"reports"`
+}
+
+// WriteJSON writes the suite results as one indented JSON document.
+// reports may be nil.
+func WriteJSON(w io.Writer, tables []Table, reports *metrics.ReportSet) error {
+	doc := suiteDoc{Schema: SuiteSchema, Tables: tables, Reports: []*metrics.Report{}}
+	if tables == nil {
+		doc.Tables = []Table{}
+	}
+	if reports != nil && reports.Reports != nil {
+		doc.Reports = reports.Reports
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table (used to

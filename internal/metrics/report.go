@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the run-report JSON layout. Bump on breaking
+// changes so downstream tooling can detect documents it cannot parse.
+const ReportSchema = "cagvt.run-report/1"
+
+// RunConfig is the configuration block of a run report.
+type RunConfig struct {
+	// Label is free-form caller context ("fig8/CA-GVT/8 nodes",
+	// "phold/mixed"); the engine leaves it empty.
+	Label              string  `json:"label,omitempty"`
+	Nodes              int     `json:"nodes"`
+	WorkersPerNode     int     `json:"workers_per_node"`
+	LPsPerWorker       int     `json:"lps_per_worker"`
+	GVT                string  `json:"gvt"`
+	Comm               string  `json:"comm"`
+	GVTInterval        int     `json:"gvt_interval"`
+	CAThreshold        float64 `json:"ca_threshold"`
+	EndTime            float64 `json:"end_time"`
+	Seed               uint64  `json:"seed"`
+	QueueKind          string  `json:"queue"`
+	BatchSize          int     `json:"batch_size"`
+	CheckpointInterval int     `json:"checkpoint_interval"`
+	MaxUncommitted     int     `json:"max_uncommitted"`
+}
+
+// RunStats is the final-aggregate block of a run report (the same
+// numbers stats.Run carries, in JSON-stable form: virtual times as
+// nanosecond integers, the checksum as a hex string).
+type RunStats struct {
+	WallNanos      int64   `json:"wall_ns"`
+	Committed      int64   `json:"committed"`
+	Processed      int64   `json:"processed"`
+	RolledBack     int64   `json:"rolled_back"`
+	Rollbacks      int64   `json:"rollbacks"`
+	Stragglers     int64   `json:"stragglers"`
+	AntiRollbacks  int64   `json:"anti_rollbacks"`
+	Efficiency     float64 `json:"efficiency"`
+	EventRate      float64 `json:"event_rate"`
+	GVTRounds      int64   `json:"gvt_rounds"`
+	SyncRounds     int64   `json:"sync_rounds"`
+	FinalGVT       float64 `json:"final_gvt"`
+	Disparity      float64 `json:"disparity"`
+	SentLocal      int64   `json:"sent_local"`
+	SentRegional   int64   `json:"sent_regional"`
+	SentRemote     int64   `json:"sent_remote"`
+	AntiSent       int64   `json:"anti_sent"`
+	Annihilated    int64   `json:"annihilated"`
+	BarrierWaitNs  int64   `json:"barrier_wait_ns"`
+	IdleNs         int64   `json:"idle_ns"`
+	GVTTimeNs      int64   `json:"gvt_time_ns"`
+	MPIMessages    int64   `json:"mpi_messages"`
+	MPIBytes       int64   `json:"mpi_bytes"`
+	CommitChecksum string  `json:"commit_checksum"`
+}
+
+// WorkerSeries is one worker's sampled time series. Samples are in
+// lockstep with the report's Rounds series: Samples[i] was taken at
+// Rounds[i].
+type WorkerSeries struct {
+	Worker  int            `json:"worker"`
+	Node    int            `json:"node"`
+	Samples []WorkerSample `json:"samples"`
+}
+
+// Report is the exported run document: configuration, final aggregates,
+// the sampled time series, and registry contents.
+type Report struct {
+	Schema string    `json:"schema"`
+	Config RunConfig `json:"config"`
+	Stats  RunStats  `json:"stats"`
+	// SampleStride is the final sampling stride in GVT rounds (1 unless
+	// the buffers filled and the recorder decimated).
+	SampleStride int                `json:"sample_stride"`
+	Rounds       []RoundSample      `json:"rounds"`
+	Workers      []WorkerSeries     `json:"workers"`
+	Counters     []NamedValue       `json:"counters"`
+	Gauges       []NamedValue       `json:"gauges"`
+	Histograms   []HistogramSummary `json:"histograms"`
+}
+
+// Checksum formats a commit checksum for the report.
+func Checksum(sum uint64) string { return fmt.Sprintf("%016x", sum) }
+
+// BuildReport assembles a report from a recorder. rec may be nil (series
+// and registry blocks come out empty). workersPerNode maps worker index
+// to node for the per-worker series.
+func BuildReport(cfg RunConfig, st RunStats, rec *Recorder, workersPerNode int) *Report {
+	rep := &Report{
+		Schema:       ReportSchema,
+		Config:       cfg,
+		Stats:        st,
+		SampleStride: 1,
+		Rounds:       []RoundSample{},
+		Workers:      []WorkerSeries{},
+		Counters:     []NamedValue{},
+		Gauges:       []NamedValue{},
+		Histograms:   []HistogramSummary{},
+	}
+	if rec == nil {
+		return rep
+	}
+	rep.SampleStride = rec.Stride()
+	if r := rec.Rounds(); r != nil {
+		rep.Rounds = r
+	}
+	for w := 0; w < rec.NumWorkers(); w++ {
+		node := 0
+		if workersPerNode > 0 {
+			node = w / workersPerNode
+		}
+		s := rec.WorkerSeries(w)
+		if s == nil {
+			s = []WorkerSample{}
+		}
+		rep.Workers = append(rep.Workers, WorkerSeries{Worker: w, Node: node, Samples: s})
+	}
+	reg := rec.Registry()
+	rep.Counters = reg.CounterValues()
+	rep.Gauges = reg.GaugeValues()
+	rep.Histograms = reg.HistogramSummaries()
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// ReportSet accumulates the reports of a multi-run session (the
+// experiment harness adds one per engine execution).
+type ReportSet struct {
+	Reports []*Report `json:"reports"`
+}
+
+// NewReportSet returns an empty set.
+func NewReportSet() *ReportSet { return &ReportSet{} }
+
+// Add appends one report.
+func (s *ReportSet) Add(r *Report) { s.Reports = append(s.Reports, r) }
+
+// Len returns the number of collected reports.
+func (s *ReportSet) Len() int { return len(s.Reports) }

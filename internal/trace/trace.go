@@ -1,7 +1,14 @@
 // Package trace records simulation runs for post-mortem analysis, in the
-// spirit of ROSS's event tracing: a compact binary log of committed
-// events and GVT rounds that can be written during a run and read back
-// for analysis (commit-rate timelines, per-LP activity, GVT progress).
+// spirit of ROSS's event tracing: a compact binary log that can be
+// written during a run and read back for analysis.
+//
+// Format v1 streams start with a 6-byte header (magic 0xCA "GVT" plus a
+// little-endian uint16 format version) followed by self-describing
+// records: committed events, GVT rounds, rollback episodes, MPI
+// sends/receives of the event/ack data plane, and worker phase
+// transitions. The Reader also accepts headerless v0 streams (commit and
+// round records only) written by earlier versions of this repo, and
+// rejects unknown versions instead of decoding garbage.
 package trace
 
 import (
@@ -12,11 +19,47 @@ import (
 	"math"
 )
 
+// Header layout.
+var magic = [4]byte{0xCA, 'G', 'V', 'T'}
+
+// Version is the format version this package writes.
+const Version = 1
+
+const headerLen = 6
+
 // Record types.
 const (
-	recCommit = uint8(1) // one committed event
-	recRound  = uint8(2) // one completed GVT round
+	recCommit   = uint8(1) // one committed event
+	recRound    = uint8(2) // one completed GVT round
+	recRollback = uint8(3) // one rollback episode (v1+)
+	recMPISend  = uint8(4) // one MPI data-plane send (v1+)
+	recMPIRecv  = uint8(5) // one MPI data-plane receive (v1+)
+	recPhase    = uint8(6) // one worker phase transition (v1+)
 )
+
+// Worker phases carried by Phase records.
+const (
+	PhaseProcessing = uint8(iota) // draining mailboxes / processing events
+	PhaseIdle                     // an empty main-loop pass
+	PhaseBarrier                  // parked at a GVT barrier
+	PhaseGVT                      // inside GVT protocol steps
+	NumPhases
+)
+
+// PhaseName returns the human-readable phase name.
+func PhaseName(p uint8) string {
+	switch p {
+	case PhaseProcessing:
+		return "processing"
+	case PhaseIdle:
+		return "idle"
+	case PhaseBarrier:
+		return "barrier"
+	case PhaseGVT:
+		return "gvt"
+	}
+	return fmt.Sprintf("phase(%d)", p)
+}
 
 // Commit is one committed event.
 type Commit struct {
@@ -35,13 +78,61 @@ type Round struct {
 	Efficiency float64
 }
 
-// Writer streams records to an io.Writer.
+// Rollback is one rollback episode at a worker: a straggler or
+// anti-message forced Depth processed events spanning [From, To] in
+// virtual time to be undone.
+type Rollback struct {
+	Worker  uint32
+	LP      uint32  // LP that was rolled back
+	Anti    bool    // caused by an anti-message (false: straggler)
+	Depth   uint32  // processed events undone
+	From    float64 // earliest undone stamp (the rollback target)
+	To      float64 // latest undone stamp
+	AtNanos int64
+}
+
+// MPISend is one message of the MPI data plane (events and Samadi acks;
+// GVT control tokens are not recorded) leaving a node.
+type MPISend struct {
+	Src, Dst uint16 // node ids
+	Bytes    uint32
+	// QueueDepth is the node outbox backlog left behind when the comm
+	// role took this message — the MPI-thread lag signal of paper §4.
+	QueueDepth uint32
+	AtNanos    int64
+}
+
+// MPIRecv is one data-plane message consumed from MPI at a node.
+type MPIRecv struct {
+	Src, Dst uint16 // node ids
+	Bytes    uint32
+	// QueueDepth is the destination worker's mailbox depth right after
+	// this message was deposited.
+	QueueDepth uint32
+	AtNanos    int64
+}
+
+// Phase is one worker phase transition: the worker entered Phase at
+// AtNanos and stays there until its next Phase record.
+type Phase struct {
+	Worker  uint32
+	Phase   uint8
+	AtNanos int64
+}
+
+// Writer streams v1 records to an io.Writer. The header is written on
+// the first record (or Flush), so an abandoned Writer leaves no bytes.
 type Writer struct {
-	w   *bufio.Writer
-	err error
+	w        *bufio.Writer
+	err      error
+	prefaced bool
 	// Counts of written records, for quick sanity checks.
-	Commits int64
-	Rounds  int64
+	Commits   int64
+	Rounds    int64
+	Rollbacks int64
+	MPISends  int64
+	MPIRecvs  int64
+	Phases    int64
 }
 
 // NewWriter returns a Writer over w.
@@ -52,6 +143,15 @@ func NewWriter(w io.Writer) *Writer {
 func (t *Writer) put(b []byte) {
 	if t.err != nil {
 		return
+	}
+	if !t.prefaced {
+		t.prefaced = true
+		var h [headerLen]byte
+		copy(h[:], magic[:])
+		binary.LittleEndian.PutUint16(h[4:], Version)
+		if _, t.err = t.w.Write(h[:]); t.err != nil {
+			return
+		}
 	}
 	_, t.err = t.w.Write(b)
 }
@@ -83,17 +183,81 @@ func (t *Writer) Round(r Round) {
 	t.Rounds++
 }
 
+// Rollback appends a rollback-episode record.
+func (t *Writer) Rollback(r Rollback) {
+	var b [38]byte
+	b[0] = recRollback
+	binary.LittleEndian.PutUint32(b[1:], r.Worker)
+	binary.LittleEndian.PutUint32(b[5:], r.LP)
+	if r.Anti {
+		b[9] = 1
+	}
+	binary.LittleEndian.PutUint32(b[10:], r.Depth)
+	binary.LittleEndian.PutUint64(b[14:], math.Float64bits(r.From))
+	binary.LittleEndian.PutUint64(b[22:], math.Float64bits(r.To))
+	binary.LittleEndian.PutUint64(b[30:], uint64(r.AtNanos))
+	t.put(b[:])
+	t.Rollbacks++
+}
+
+func putMPI(b *[21]byte, kind uint8, src, dst uint16, bytes, depth uint32, at int64) {
+	b[0] = kind
+	binary.LittleEndian.PutUint16(b[1:], src)
+	binary.LittleEndian.PutUint16(b[3:], dst)
+	binary.LittleEndian.PutUint32(b[5:], bytes)
+	binary.LittleEndian.PutUint32(b[9:], depth)
+	binary.LittleEndian.PutUint64(b[13:], uint64(at))
+}
+
+// MPISend appends a data-plane send record.
+func (t *Writer) MPISend(m MPISend) {
+	var b [21]byte
+	putMPI(&b, recMPISend, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
+	t.put(b[:])
+	t.MPISends++
+}
+
+// MPIRecv appends a data-plane receive record.
+func (t *Writer) MPIRecv(m MPIRecv) {
+	var b [21]byte
+	putMPI(&b, recMPIRecv, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
+	t.put(b[:])
+	t.MPIRecvs++
+}
+
+// Phase appends a worker phase-transition record.
+func (t *Writer) Phase(p Phase) {
+	var b [14]byte
+	b[0] = recPhase
+	binary.LittleEndian.PutUint32(b[1:], p.Worker)
+	b[5] = p.Phase
+	binary.LittleEndian.PutUint64(b[6:], uint64(p.AtNanos))
+	t.put(b[:])
+	t.Phases++
+}
+
 // Flush drains buffered records and returns any accumulated write error.
 func (t *Writer) Flush() error {
 	if t.err != nil {
 		return t.err
 	}
+	if !t.prefaced {
+		t.put(nil) // header-only stream
+		if t.err != nil {
+			return t.err
+		}
+	}
 	return t.w.Flush()
 }
 
-// Reader iterates over a trace stream.
+// Reader iterates over a trace stream, accepting both v1 (headered) and
+// legacy v0 (headerless) formats.
 type Reader struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	off     int64
+	version int
+	started bool
+	err     error
 }
 
 // NewReader returns a Reader over r.
@@ -101,18 +265,90 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Next returns the next record as either a Commit or a Round; io.EOF ends
-// the stream.
-func (t *Reader) Next() (any, error) {
-	kind, err := t.r.ReadByte()
+// Offset returns the number of bytes consumed so far; after an error it
+// points at the failure.
+func (t *Reader) Offset() int64 { return t.off }
+
+// Version returns the stream's format version (0 for legacy headerless
+// streams), detecting it on first use. An empty stream reads as the
+// current version.
+func (t *Reader) Version() (int, error) {
+	if err := t.start(); err != nil && err != io.EOF {
+		return 0, err
+	}
+	return t.version, nil
+}
+
+// start detects and consumes the header. It returns io.EOF only for a
+// completely empty stream.
+func (t *Reader) start() error {
+	if t.started {
+		return t.err
+	}
+	t.started = true
+	first, err := t.r.Peek(1)
 	if err != nil {
+		if err == io.EOF {
+			t.version = Version
+			return io.EOF
+		}
+		t.err = err
+		return err
+	}
+	if first[0] != magic[0] {
+		// Headerless legacy stream: records begin immediately.
+		t.version = 0
+		return nil
+	}
+	var h [headerLen]byte
+	if _, err := io.ReadFull(t.r, h[:]); err != nil {
+		t.err = fmt.Errorf("trace: truncated header at offset %d: %w", t.off, err)
+		return t.err
+	}
+	if [4]byte(h[:4]) != magic {
+		t.err = fmt.Errorf("trace: bad magic %x at offset 0 (not a trace file)", h[:4])
+		return t.err
+	}
+	t.off = headerLen
+	v := int(binary.LittleEndian.Uint16(h[4:]))
+	if v == 0 || v > Version {
+		t.err = fmt.Errorf("trace: unknown format version %d (this reader understands v0..v%d); refusing to decode", v, Version)
+		return t.err
+	}
+	t.version = v
+	return nil
+}
+
+func (t *Reader) readFull(b []byte, what string) error {
+	n, err := io.ReadFull(t.r, b)
+	t.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("trace: truncated %s record at offset %d: %w", what, t.off, err)
+	}
+	return nil
+}
+
+// Next returns the next record as one of Commit, Round, Rollback,
+// MPISend, MPIRecv or Phase; io.EOF ends the stream.
+func (t *Reader) Next() (any, error) {
+	if err := t.start(); err != nil {
 		return nil, err
 	}
+	kind, err := t.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			err = fmt.Errorf("trace: read at offset %d: %w", t.off, err)
+			t.err = err
+		}
+		return nil, err
+	}
+	t.off++
 	switch kind {
 	case recCommit:
 		var b [24]byte
-		if _, err := io.ReadFull(t.r, b[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated commit record: %w", err)
+		if err := t.readFull(b[:], "commit"); err != nil {
+			t.err = err
+			return nil, err
 		}
 		return Commit{
 			LP:  binary.LittleEndian.Uint32(b[0:]),
@@ -122,8 +358,9 @@ func (t *Reader) Next() (any, error) {
 		}, nil
 	case recRound:
 		var b [33]byte
-		if _, err := io.ReadFull(t.r, b[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated round record: %w", err)
+		if err := t.readFull(b[:], "round"); err != nil {
+			t.err = err
+			return nil, err
 		}
 		return Round{
 			Round:      int64(binary.LittleEndian.Uint64(b[0:])),
@@ -132,46 +369,165 @@ func (t *Reader) Next() (any, error) {
 			Sync:       b[24] != 0,
 			Efficiency: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
 		}, nil
+	case recRollback:
+		var b [37]byte
+		if err := t.readFull(b[:], "rollback"); err != nil {
+			t.err = err
+			return nil, err
+		}
+		return Rollback{
+			Worker:  binary.LittleEndian.Uint32(b[0:]),
+			LP:      binary.LittleEndian.Uint32(b[4:]),
+			Anti:    b[8] != 0,
+			Depth:   binary.LittleEndian.Uint32(b[9:]),
+			From:    math.Float64frombits(binary.LittleEndian.Uint64(b[13:])),
+			To:      math.Float64frombits(binary.LittleEndian.Uint64(b[21:])),
+			AtNanos: int64(binary.LittleEndian.Uint64(b[29:])),
+		}, nil
+	case recMPISend, recMPIRecv:
+		var b [20]byte
+		what := "mpi-send"
+		if kind == recMPIRecv {
+			what = "mpi-recv"
+		}
+		if err := t.readFull(b[:], what); err != nil {
+			t.err = err
+			return nil, err
+		}
+		src := binary.LittleEndian.Uint16(b[0:])
+		dst := binary.LittleEndian.Uint16(b[2:])
+		bytes := binary.LittleEndian.Uint32(b[4:])
+		depth := binary.LittleEndian.Uint32(b[8:])
+		at := int64(binary.LittleEndian.Uint64(b[12:]))
+		if kind == recMPISend {
+			return MPISend{Src: src, Dst: dst, Bytes: bytes, QueueDepth: depth, AtNanos: at}, nil
+		}
+		return MPIRecv{Src: src, Dst: dst, Bytes: bytes, QueueDepth: depth, AtNanos: at}, nil
+	case recPhase:
+		var b [13]byte
+		if err := t.readFull(b[:], "phase"); err != nil {
+			t.err = err
+			return nil, err
+		}
+		return Phase{
+			Worker:  binary.LittleEndian.Uint32(b[0:]),
+			Phase:   b[4],
+			AtNanos: int64(binary.LittleEndian.Uint64(b[5:])),
+		}, nil
 	default:
-		return nil, fmt.Errorf("trace: unknown record type %d", kind)
+		err := fmt.Errorf("trace: unknown record type %d at offset %d", kind, t.off-1)
+		t.err = err
+		return nil, err
+	}
+}
+
+// Visitor receives decoded records by type; nil callbacks skip that
+// type. It replaces type-switching over Next's any-typed result.
+type Visitor struct {
+	Commit   func(Commit)
+	Round    func(Round)
+	Rollback func(Rollback)
+	MPISend  func(MPISend)
+	MPIRecv  func(MPIRecv)
+	Phase    func(Phase)
+}
+
+// ForEach decodes the whole stream, dispatching each record to the
+// matching callback. It returns nil on clean EOF and the decode error
+// (with byte offset) otherwise.
+func (t *Reader) ForEach(v Visitor) error {
+	for {
+		rec, err := t.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch r := rec.(type) {
+		case Commit:
+			if v.Commit != nil {
+				v.Commit(r)
+			}
+		case Round:
+			if v.Round != nil {
+				v.Round(r)
+			}
+		case Rollback:
+			if v.Rollback != nil {
+				v.Rollback(r)
+			}
+		case MPISend:
+			if v.MPISend != nil {
+				v.MPISend(r)
+			}
+		case MPIRecv:
+			if v.MPIRecv != nil {
+				v.MPIRecv(r)
+			}
+		case Phase:
+			if v.Phase != nil {
+				v.Phase(r)
+			}
+		}
 	}
 }
 
 // Summary aggregates a trace stream.
 type Summary struct {
+	Version    int
 	Commits    int64
 	Rounds     int64
 	SyncRounds int64
 	FinalGVT   float64
 	MaxT       float64
 	PerLP      map[uint32]int64
+	// v1 extensions (zero on v0 streams).
+	Rollbacks        int64 // rollback episodes
+	RolledBack       int64 // events undone across all episodes
+	MPISends         int64
+	MPISendBytes     int64
+	MPIRecvs         int64
+	PhaseRecords     int64
+	MaxRollbackDepth int64
 }
 
 // Summarize reads a whole stream into a Summary.
 func Summarize(r io.Reader) (*Summary, error) {
 	tr := NewReader(r)
 	s := &Summary{PerLP: make(map[uint32]int64)}
-	for {
-		rec, err := tr.Next()
-		if err == io.EOF {
-			return s, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		switch v := rec.(type) {
-		case Commit:
+	err := tr.ForEach(Visitor{
+		Commit: func(c Commit) {
 			s.Commits++
-			s.PerLP[v.LP]++
-			if v.T > s.MaxT {
-				s.MaxT = v.T
+			s.PerLP[c.LP]++
+			if c.T > s.MaxT {
+				s.MaxT = c.T
 			}
-		case Round:
+		},
+		Round: func(r Round) {
 			s.Rounds++
-			if v.Sync {
+			if r.Sync {
 				s.SyncRounds++
 			}
-			s.FinalGVT = v.GVT
-		}
+			s.FinalGVT = r.GVT
+		},
+		Rollback: func(r Rollback) {
+			s.Rollbacks++
+			s.RolledBack += int64(r.Depth)
+			if int64(r.Depth) > s.MaxRollbackDepth {
+				s.MaxRollbackDepth = int64(r.Depth)
+			}
+		},
+		MPISend: func(m MPISend) {
+			s.MPISends++
+			s.MPISendBytes += int64(m.Bytes)
+		},
+		MPIRecv: func(MPIRecv) { s.MPIRecvs++ },
+		Phase:   func(Phase) { s.PhaseRecords++ },
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Version, _ = tr.Version()
+	return s, nil
 }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -125,5 +127,209 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRoundTripV1Records(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rb := Rollback{Worker: 7, LP: 42, Anti: true, Depth: 13, From: 1.25, To: 9.5, AtNanos: 777}
+	ms := MPISend{Src: 1, Dst: 2, Bytes: 96, QueueDepth: 5, AtNanos: 100}
+	mr := MPIRecv{Src: 2, Dst: 1, Bytes: 96, QueueDepth: 3, AtNanos: 200}
+	ph := Phase{Worker: 3, Phase: PhaseBarrier, AtNanos: 300}
+	w.Rollback(rb)
+	w.MPISend(ms)
+	w.MPIRecv(mr)
+	w.Phase(ph)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rollbacks != 1 || w.MPISends != 1 || w.MPIRecvs != 1 || w.Phases != 1 {
+		t.Errorf("writer counts: %d/%d/%d/%d", w.Rollbacks, w.MPISends, w.MPIRecvs, w.Phases)
+	}
+	r := NewReader(&buf)
+	if v, err := r.Version(); err != nil || v != Version {
+		t.Fatalf("version = %d, %v; want %d", v, err, Version)
+	}
+	for _, want := range []any{rb, ms, mr, ph} {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+// TestV0Shim strips the v1 header from a commit/round-only stream to
+// fabricate a legacy trace; the Reader must still decode it as v0.
+func TestV0Shim(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Commit(Commit{LP: 1, T: 2.0, Src: 3, Seq: 4})
+	w.Round(Round{Round: 1, GVT: 2.0, Sync: true, Efficiency: 0.9})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[headerLen:]
+	r := NewReader(bytes.NewReader(legacy))
+	if v, err := r.Version(); err != nil || v != 0 {
+		t.Fatalf("version = %d, %v; want 0", v, err)
+	}
+	if rec, err := r.Next(); err != nil || rec.(Commit).LP != 1 {
+		t.Fatalf("commit: %v, %v", rec, err)
+	}
+	if rec, err := r.Next(); err != nil || rec.(Round).GVT != 2.0 {
+		t.Fatalf("round: %v, %v", rec, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestUnknownVersionRejected(t *testing.T) {
+	stream := []byte{0xCA, 'G', 'V', 'T', 0x63, 0x00} // version 99
+	if _, err := NewReader(bytes.NewReader(stream)).Next(); err == nil {
+		t.Fatal("unknown version did not error")
+	} else if !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("error does not name the version: %v", err)
+	}
+	// Declared version 0 in a header is also invalid (v0 is headerless).
+	bad := []byte{0xCA, 'G', 'V', 'T', 0x00, 0x00}
+	if _, err := NewReader(bytes.NewReader(bad)).Next(); err == nil {
+		t.Fatal("headered version 0 did not error")
+	}
+}
+
+func TestErrorsCarryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Commit(Commit{LP: 1, T: 1})
+	w.Rollback(Rollback{Worker: 1, Depth: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncate mid-way through the rollback record.
+	cut := full[:len(full)-5]
+	r := NewReader(bytes.NewReader(cut))
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("truncated rollback read as clean EOF")
+	}
+	if !strings.Contains(err.Error(), "offset") || !strings.Contains(err.Error(), "rollback") {
+		t.Errorf("truncation error lacks offset/record type: %v", err)
+	}
+	if r.Offset() != int64(len(cut)) {
+		t.Errorf("Offset() = %d, want %d", r.Offset(), len(cut))
+	}
+
+	// Corrupt a record kind byte; the error must name its offset.
+	bad := append([]byte(nil), full...)
+	kindOff := headerLen + 25 // first byte of the rollback record
+	bad[kindOff] = 200
+	r = NewReader(bytes.NewReader(bad))
+	err = nil
+	for err == nil {
+		_, err = r.Next()
+	}
+	want := fmt.Sprintf("offset %d", kindOff)
+	if !strings.Contains(err.Error(), "unknown record type 200") || !strings.Contains(err.Error(), want) {
+		t.Errorf("corruption error = %v, want unknown type at %s", err, want)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Commit(Commit{LP: 1, T: 1})
+	w.Round(Round{Round: 1, GVT: 1})
+	w.Rollback(Rollback{Worker: 0, Depth: 3})
+	w.MPISend(MPISend{Bytes: 10})
+	w.MPIRecv(MPIRecv{Bytes: 10})
+	w.Phase(Phase{Phase: PhaseGVT})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var commits, rounds, rollbacks, sends, recvs, phases int
+	err := NewReader(&buf).ForEach(Visitor{
+		Commit:   func(Commit) { commits++ },
+		Round:    func(Round) { rounds++ },
+		Rollback: func(Rollback) { rollbacks++ },
+		MPISend:  func(MPISend) { sends++ },
+		MPIRecv:  func(MPIRecv) { recvs++ },
+		Phase:    func(Phase) { phases++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commits != 1 || rounds != 1 || rollbacks != 1 || sends != 1 || recvs != 1 || phases != 1 {
+		t.Errorf("visitor counts: %d %d %d %d %d %d", commits, rounds, rollbacks, sends, recvs, phases)
+	}
+}
+
+func TestSummarizeV1(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Rollback(Rollback{Depth: 4})
+	w.Rollback(Rollback{Depth: 9, Anti: true})
+	w.MPISend(MPISend{Bytes: 100})
+	w.MPISend(MPISend{Bytes: 50})
+	w.MPIRecv(MPIRecv{Bytes: 100})
+	w.Phase(Phase{Phase: PhaseIdle})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != Version {
+		t.Errorf("version = %d", s.Version)
+	}
+	if s.Rollbacks != 2 || s.RolledBack != 13 || s.MaxRollbackDepth != 9 {
+		t.Errorf("rollback summary = %+v", s)
+	}
+	if s.MPISends != 2 || s.MPISendBytes != 150 || s.MPIRecvs != 1 || s.PhaseRecords != 1 {
+		t.Errorf("mpi/phase summary = %+v", s)
+	}
+}
+
+func TestPhaseName(t *testing.T) {
+	for ph, want := range map[uint8]string{
+		PhaseProcessing: "processing", PhaseIdle: "idle",
+		PhaseBarrier: "barrier", PhaseGVT: "gvt", 200: "phase(200)",
+	} {
+		if got := PhaseName(ph); got != want {
+			t.Errorf("PhaseName(%d) = %q, want %q", ph, got, want)
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream: want EOF, got %v", err)
+	}
+	// Header-only stream (writer flushed with no records).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r = NewReader(&buf)
+	if v, err := r.Version(); err != nil || v != Version {
+		t.Fatalf("header-only version = %d, %v", v, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("header-only stream: want EOF, got %v", err)
 	}
 }
