@@ -18,9 +18,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/seq"
+	"repro/internal/sim"
 	tracepkg "repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -39,6 +41,8 @@ func main() {
 		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
 		seed     = flag.Uint64("seed", 1, "master RNG seed")
 		queue    = flag.String("queue", "heap", "pending set: heap | calendar")
+		faults   = flag.String("faults", "", "fault scenario: "+strings.Join(fabric.ScenarioNames(), " | ")+" (empty: fault-free)")
+		watchdog = flag.Int64("watchdog", 0, "GVT liveness watchdog timeout in virtual µs (0: auto, 2000 when -faults is set)")
 		seqCheck = flag.Bool("seq", false, "also run the sequential oracle and verify the commit stream")
 		traceTo  = flag.String("traceout", "", "write a binary v1 run trace (commits, rounds, rollbacks, MPI, phases) to this file")
 		reportTo = flag.String("report", "", "write the JSON run report (config, stats, sampled time series) to this file")
@@ -114,6 +118,21 @@ func main() {
 		QueueKind:   *queue,
 		Model:       phold.New(params),
 	}
+	if *faults != "" {
+		plan, err := fabric.Scenario(*faults, *nodes)
+		if err != nil {
+			fail("%v", err)
+		}
+		if plan != nil {
+			cfg.Faults = plan
+			cfg.FaultLabel = *faults
+		} else {
+			*faults = "" // "none" is fault-free
+		}
+	}
+	if *watchdog > 0 {
+		cfg.WatchdogTimeout = sim.Time(*watchdog) * sim.Microsecond
+	}
 	if err := func() error { c := cfg; c.Defaults(); return c.Validate() }(); err != nil {
 		fail("%v", err)
 	}
@@ -141,6 +160,14 @@ func main() {
 	fmt.Printf("phold: %d nodes x %d workers x %d LPs, %v GVT, %v comm, %s scenario\n",
 		*nodes, *workers, *lps, kind, cm, *scenario)
 	fmt.Println(r)
+	if *faults != "" {
+		fmt.Printf("faults: scenario %q — injected %d drops, %d dups, %d jitters, %d window drops\n",
+			*faults, r.FaultDrops, r.FaultDups, r.FaultJitters, r.FaultWindowDrops)
+		fmt.Printf("transport: %d retransmits, %d dup frames suppressed, %d frames exhausted\n",
+			r.Retransmits, r.TransportDups, r.TransportExhausted)
+		fmt.Printf("watchdog: %d token restarts, %d barrier fallbacks\n",
+			r.WatchdogRestarts, r.WatchdogFallbacks)
+	}
 	if cfg.Trace != nil {
 		if err := cfg.Trace.Flush(); err != nil {
 			fail("trace: %v", err)

@@ -93,6 +93,20 @@ type workerPhases struct {
 	Transitions  int64  `json:"transitions"`
 }
 
+// faultCount is one fault kind's occurrence count.
+type faultCount struct {
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+}
+
+// faultAnalysis aggregates injected faults and watchdog reactions.
+type faultAnalysis struct {
+	Total   int64        `json:"total"`
+	ByKind  []faultCount `json:"by_kind"`
+	FirstNs int64        `json:"first_ns"`
+	LastNs  int64        `json:"last_ns"`
+}
+
 // perLPSpread summarizes committed-event counts across LPs.
 type perLPSpread struct {
 	LPs  int     `json:"lps"`
@@ -116,6 +130,7 @@ type analysis struct {
 	Rollbacks      rollbackAnalysis `json:"rollbacks"`
 	MPI            []nodeBandwidth  `json:"mpi_bandwidth"`
 	Phases         []workerPhases   `json:"phase_breakdown"`
+	Faults         *faultAnalysis   `json:"faults,omitempty"`
 }
 
 // phaseState tracks one worker's open phase interval while scanning.
@@ -145,6 +160,7 @@ func main() {
 		rounds    []trace.Round
 		rollbacks []trace.Rollback
 		sends     []trace.MPISend
+		faults    []trace.Fault
 		phases    = map[uint32]*phaseState{}
 		maxAt     int64
 	)
@@ -163,6 +179,7 @@ func main() {
 		},
 		MPISend: func(m trace.MPISend) { sends = append(sends, m); seeAt(m.AtNanos) },
 		MPIRecv: func(m trace.MPIRecv) { seeAt(m.AtNanos) },
+		Fault:   func(ft trace.Fault) { faults = append(faults, ft); seeAt(ft.AtNanos) },
 		Phase: func(p trace.Phase) {
 			st := phases[p.Worker]
 			if st == nil {
@@ -185,7 +202,7 @@ func main() {
 	}
 	version, _ := r.Version()
 
-	a := build(version, *buckets, commits, rounds, rollbacks, sends, phases, maxAt)
+	a := build(version, *buckets, commits, rounds, rollbacks, sends, faults, phases, maxAt)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
@@ -218,7 +235,7 @@ func (st *phaseState) addUntil(at int64) {
 
 // build assembles every analysis from the collected records.
 func build(version, buckets int, commits []trace.Commit, rounds []trace.Round,
-	rollbacks []trace.Rollback, sends []trace.MPISend,
+	rollbacks []trace.Rollback, sends []trace.MPISend, faults []trace.Fault,
 	phases map[uint32]*phaseState, maxAt int64) *analysis {
 
 	a := &analysis{
@@ -367,6 +384,29 @@ func build(version, buckets int, commits []trace.Commit, rounds []trace.Round,
 		a.MPI = append(a.MPI, *perNode[id])
 	}
 
+	// Fault summary: per-kind counts in kind order plus time span.
+	if len(faults) > 0 {
+		fa := &faultAnalysis{Total: int64(len(faults)), FirstNs: faults[0].AtNanos}
+		var byKind [trace.NumFaultKinds]int64
+		for _, ft := range faults {
+			if int(ft.Kind) < len(byKind) {
+				byKind[ft.Kind]++
+			}
+			if ft.AtNanos < fa.FirstNs {
+				fa.FirstNs = ft.AtNanos
+			}
+			if ft.AtNanos > fa.LastNs {
+				fa.LastNs = ft.AtNanos
+			}
+		}
+		for k, c := range byKind {
+			if c > 0 {
+				fa.ByKind = append(fa.ByKind, faultCount{Kind: trace.FaultName(uint8(k)), Count: c})
+			}
+		}
+		a.Faults = fa
+	}
+
 	// Worker phase breakdown: close each open interval at the last
 	// simulated timestamp seen in the trace.
 	workerIDs := make([]uint32, 0, len(phases))
@@ -444,6 +484,14 @@ func render(a *analysis) {
 		fmt.Println("  depth distribution (episodes with depth <= N):")
 		for _, b := range rb.Depths {
 			fmt.Printf("    <=%6d: %6d straggler, %6d anti\n", b.Le, b.Straggler, b.Anti)
+		}
+	}
+
+	if a.Faults != nil {
+		fmt.Printf("\nfaults: %d injected/observed over [%.3f, %.3f]ms virtual\n",
+			a.Faults.Total, float64(a.Faults.FirstNs)/1e6, float64(a.Faults.LastNs)/1e6)
+		for _, fc := range a.Faults.ByKind {
+			fmt.Printf("  %-18s %7d\n", fc.Kind, fc.Count)
 		}
 	}
 

@@ -141,3 +141,29 @@ func KNLDefaults() CostModel {
 func (c CostModel) EPGCost(epg int) sim.Time {
 	return sim.Time(epg) * c.Flop
 }
+
+// Scaled returns the cost model with every per-operation cost multiplied
+// by f — a straggler node whose cores run f times slower. f == 1 returns
+// the receiver unchanged (bit-identical, no float rounding).
+func (c CostModel) Scaled(f float64) CostModel {
+	if f == 1 {
+		return c
+	}
+	scale := func(t sim.Time) sim.Time { return sim.Time(float64(t) * f) }
+	c.Flop = scale(c.Flop)
+	c.EventOverhead = scale(c.EventOverhead)
+	c.StateSave = scale(c.StateSave)
+	c.QueueOp = scale(c.QueueOp)
+	c.LocalSend = scale(c.LocalSend)
+	c.RegionalSend = scale(c.RegionalSend)
+	c.RegionalLockHold = scale(c.RegionalLockHold)
+	c.RemoteEnqueue = scale(c.RemoteEnqueue)
+	c.InboxDrainPerMsg = scale(c.InboxDrainPerMsg)
+	c.RollbackPerEvent = scale(c.RollbackPerEvent)
+	c.FossilPerEvent = scale(c.FossilPerEvent)
+	c.GVTBookkeeping = scale(c.GVTBookkeeping)
+	c.EffCompute = scale(c.EffCompute)
+	c.IdlePoll = scale(c.IdlePoll)
+	c.BarrierEntry = scale(c.BarrierEntry)
+	return c
+}

@@ -159,6 +159,37 @@ type Config struct {
 
 	Model ModelFactory
 
+	// Faults, when non-nil, installs a deterministic fault-injection plan
+	// on the fabric (packet drops, duplicates, delay jitter, periodic
+	// partition windows, straggler nodes) and layers the reliable
+	// transport under MPI so delivery stays exactly-once in-order. The
+	// fault RNG stream is seeded from Seed via a dedicated salt, so the
+	// model-level random draws — and hence the committed event stream —
+	// are unchanged by enabling faults.
+	Faults *fabric.FaultPlan
+	// FaultLabel names the fault scenario in run reports (report-only;
+	// see fabric.Scenario for the built-ins).
+	FaultLabel string
+	// WatchdogTimeout drives the GVT liveness watchdog: when the
+	// Mattern/CA ring master observes no token progress for this long,
+	// it resends the last control token (nodes that already served the
+	// lap re-apply their recorded contribution; the master discards the
+	// duplicate if the original completes). Zero auto-selects 2ms when
+	// Faults is set and disables the watchdog otherwise; negative
+	// disables it explicitly.
+	WatchdogTimeout sim.Time
+	// WatchdogFallbackAfter is how many watchdog restarts within a single
+	// GVT round force the next round to run synchronously (the barrier
+	// fallback: a round whose sync points re-align a cluster the token
+	// keeps dying on). Default 3.
+	WatchdogFallbackAfter int
+	// CheckInvariants enables the strengthened GVT invariant: at every
+	// round completion the published GVT is checked against the true
+	// minimum over all worker LVTs, mailboxes, outboxes, stashed
+	// anti-messages, transport buffers and in-flight packets. Always on
+	// when Faults is set.
+	CheckInvariants bool
+
 	// Trace, when non-nil, receives a record for every committed event,
 	// every completed GVT round, every rollback episode, every MPI
 	// data-plane send/receive and every worker phase transition
@@ -201,6 +232,9 @@ func (c *Config) Defaults() {
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 1
 	}
+	if c.WatchdogFallbackAfter == 0 {
+		c.WatchdogFallbackAfter = 3
+	}
 }
 
 // Validate reports configuration errors.
@@ -222,6 +256,14 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckpointInterval < 0 {
 		return fmt.Errorf("core: CheckpointInterval must be positive, got %d", c.CheckpointInterval)
+	}
+	if c.WatchdogFallbackAfter < 0 {
+		return fmt.Errorf("core: WatchdogFallbackAfter must be positive, got %d", c.WatchdogFallbackAfter)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Topology.Nodes); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -245,6 +287,13 @@ type Engine struct {
 	disparity   stats.Disparity
 	roundTraces []RoundTrace
 
+	// robustness machinery (see Config.Faults / WatchdogTimeout)
+	invariants  bool     // GVT ≤ min(observable) checked every round
+	wdTimeout   sim.Time // resolved watchdog timeout (0 = off)
+	wdRestarts  int64    // watchdog token resends across the run
+	wdFallbacks int64    // rounds forced synchronous by the watchdog
+	wdForceSync bool     // pending: next published round must be sync
+
 	// telemetry instruments, resolved once at construction (nil when
 	// Config.Metrics is nil) so hot paths pay a nil check, not a map
 	// lookup.
@@ -266,6 +315,16 @@ type RoundTrace struct {
 	Efficiency float64 // cumulative efficiency observed at round end
 }
 
+// faultSeedSalt decorrelates the fault-injection RNG stream from the
+// model substreams derived from the same Config.Seed.
+const faultSeedSalt = 0x9e3779b97f4a7c15
+
+// tokenRetryBudget bounds GVT-token retransmissions at the transport
+// layer: a token stuck behind a partition fails over to the liveness
+// watchdog instead of retrying forever. Data events keep unlimited
+// retries — no committed event is ever lost to a fault plan.
+const tokenRetryBudget = 3
+
 // New builds an engine. It panics on invalid configuration (construction
 // is programmer-controlled; see Config.Validate for checking first).
 func New(cfg Config) *Engine {
@@ -276,6 +335,43 @@ func New(cfg Config) *Engine {
 	eng := &Engine{cfg: cfg, env: sim.NewEnv()}
 	eng.env.LivelockLimit = 500_000_000
 	eng.world = mpi.NewWorld(eng.env, cfg.Topology.Nodes, cfg.Net, cfg.MPICosts)
+	eng.invariants = cfg.CheckInvariants || cfg.Faults != nil
+	eng.wdTimeout = cfg.WatchdogTimeout
+	if eng.wdTimeout == 0 && cfg.Faults != nil {
+		eng.wdTimeout = 2 * sim.Millisecond
+	}
+	if eng.wdTimeout < 0 {
+		eng.wdTimeout = 0
+	}
+	if cfg.Faults != nil {
+		f := eng.world.Fabric()
+		if err := f.SetFaults(cfg.Faults, cfg.Seed^faultSeedSalt); err != nil {
+			panic(err)
+		}
+		eng.world.EnableReliable(mpi.ReliableParams{
+			TagRetryLimit: map[int]int{tagToken: tokenRetryBudget},
+		})
+		var cFault *metrics.Counter
+		if cfg.Metrics != nil {
+			cFault = cfg.Metrics.Registry().Counter("faults_injected")
+		}
+		tr := cfg.Trace
+		f.FaultHook = func(fe fabric.FaultEvent) {
+			if cFault != nil {
+				cFault.Inc()
+			}
+			if tr != nil {
+				tr.Fault(trace.Fault{
+					Kind: uint8(fe.Kind), Src: uint16(fe.Src), Dst: uint16(fe.Dst),
+					AtNanos: int64(fe.At), DelayNanos: int64(fe.Delay),
+				})
+			}
+		}
+	} else if eng.invariants {
+		// In-flight packet tracking is normally enabled by SetFaults; the
+		// invariant checker needs it on a perfect fabric too.
+		eng.world.Fabric().EnableTracking()
+	}
 	if rec := cfg.Metrics; rec != nil {
 		rec.Init(cfg.Topology.TotalWorkers())
 		reg := rec.Registry()
@@ -345,12 +441,26 @@ func (e *Engine) collect() *stats.Run {
 	f := e.world.Fabric()
 	r.MPIMessages = f.MessagesSent
 	r.MPIBytes = f.BytesSent
+	if e.world.Reliable() {
+		ts := e.world.TransportStats()
+		r.Retransmits = ts.Retransmits
+		r.TransportDups = ts.DupsSuppressed
+		r.TransportExhausted = ts.Exhausted
+	}
+	fs := f.FaultStats()
+	r.FaultDrops = fs.Dropped
+	r.FaultDups = fs.Duplicated
+	r.FaultJitters = fs.Jittered
+	r.FaultWindowDrops = fs.WindowDropped
+	r.WatchdogRestarts = e.wdRestarts
+	r.WatchdogFallbacks = e.wdFallbacks
 	return r
 }
 
 // onRoundComplete is invoked (outside simulated cost) by the GVT master
 // when a round finishes; it records metrics and the disparity sample.
 func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
+	e.checkGVTInvariant(gvt)
 	e.gvtRounds++
 	if sync {
 		e.syncRounds++
@@ -422,6 +532,7 @@ func (e *Engine) Report(r *stats.Run) *metrics.Report {
 		BatchSize:          cfg.BatchSize,
 		CheckpointInterval: cfg.CheckpointInterval,
 		MaxUncommitted:     cfg.MaxUncommitted,
+		Faults:             cfg.FaultLabel,
 	}
 	rs := metrics.RunStats{
 		WallNanos:      int64(r.WallTime),
@@ -448,6 +559,16 @@ func (e *Engine) Report(r *stats.Run) *metrics.Report {
 		MPIMessages:    r.MPIMessages,
 		MPIBytes:       r.MPIBytes,
 		CommitChecksum: metrics.Checksum(r.CommitChecksum),
+
+		Retransmits:        r.Retransmits,
+		TransportDups:      r.TransportDups,
+		TransportExhausted: r.TransportExhausted,
+		FaultDrops:         r.FaultDrops,
+		FaultDups:          r.FaultDups,
+		FaultJitters:       r.FaultJitters,
+		FaultWindowDrops:   r.FaultWindowDrops,
+		WatchdogRestarts:   r.WatchdogRestarts,
+		WatchdogFallbacks:  r.WatchdogFallbacks,
 	}
 	return metrics.BuildReport(rc, rs, e.cfg.Metrics, cfg.Topology.WorkersPerNode)
 }

@@ -32,7 +32,7 @@ func (w *worker) barrierPoll() {
 func (w *worker) barrierWorkerRound() {
 	n := w.node
 	p := w.proc
-	cost := &w.eng.cfg.Cost
+	cost := &w.node.cost
 	st := &workerBarrierStats{wait: &w.st.BarrierWait, w: w}
 	comm := w.commRole() == commPumpAndGVT
 	gvtStart := p.Now()
@@ -89,7 +89,7 @@ func (n *node) commBarrierRound(p *sim.Proc) {
 // commBarrierStep sums the node's in-transit counts and allreduces them
 // across nodes (Algorithm 1 lines 5–7).
 func (n *node) commBarrierStep(p *sim.Proc) {
-	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	p.Advance(n.cost.GVTBookkeeping)
 	var sum int64
 	for _, c := range n.msgCount {
 		sum += c
@@ -101,7 +101,7 @@ func (n *node) commBarrierStep(p *sim.Proc) {
 // 10–12) and publishes it. It also retires the round request: workers are
 // parked at the exit barrier at this point, so no new round can race it.
 func (n *node) commBarrierFinish(p *sim.Proc) {
-	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	p.Advance(n.cost.GVTBookkeeping)
 	min := vtime.Inf
 	for _, v := range n.localMin {
 		if v < min {

@@ -51,6 +51,7 @@ const (
 // gvtToken is the inter-node control message.
 type gvtToken struct {
 	phase  int
+	uid    uint64  // lap identity stamped by the master (liveness dedup)
 	count  int64   // cumulative white sent-received (phase A)
 	minLVT float64 // phase B
 	minRed float64 // phase B
@@ -58,7 +59,19 @@ type gvtToken struct {
 	sync   bool    // phase C: CA-GVT's SyncFlag for the next round
 }
 
+// wireSize stays at the original 48-byte frame: the uid rides in the
+// slack of the padded struct a real implementation would send.
 func (t *gvtToken) wireSize() int { return 48 }
+
+// tokContrib memoizes what one node folded into one specific token lap,
+// so a watchdog-resent duplicate re-applies the identical contribution
+// without touching live CM state (whose delta was already consumed).
+type tokContrib struct {
+	phase  int
+	delta  int64   // tokWhite: the white delta this node added
+	minLVT float64 // tokReduce: the post-fold minima this node forwarded
+	minRed float64
+}
 
 // nodeCM is the node-level shared control message.
 type nodeCM struct {
@@ -78,10 +91,10 @@ type nodeCM struct {
 	syncNext    bool // decided by the master at round end
 }
 
-func (cm *nodeCM) init(eng *Engine, workers int) {
+func (cm *nodeCM) init(n *node, workers int) {
 	cm.workers = workers
 	cm.mu.Name = "nodeCM"
-	cm.mu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	cm.mu.HoldCost = n.cost.RegionalLockHold
 	cm.minLVT = vtime.Inf
 	cm.minRed = vtime.Inf
 }
@@ -104,7 +117,7 @@ func (cm *nodeCM) reset() {
 func (n *node) takeDelta(p *sim.Proc) int64 {
 	cm := &n.cm
 	cm.mu.Lock(p)
-	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	p.Advance(n.cost.GVTBookkeeping)
 	d := cm.whiteDelta
 	cm.whiteDelta = 0
 	cm.mu.Unlock(p)
@@ -119,7 +132,7 @@ func (w *worker) flushOldReceipts() {
 	}
 	cm := &w.node.cm
 	cm.mu.Lock(w.proc)
-	w.proc.Advance(w.eng.cfg.Cost.GVTBookkeeping)
+	w.proc.Advance(w.node.cost.GVTBookkeeping)
 	cm.whiteDelta -= w.recvC[w.drainSlot]
 	cm.mu.Unlock(w.proc)
 	w.recvC[w.drainSlot] = 0
@@ -131,7 +144,7 @@ func (w *worker) flushOldReceipts() {
 func (w *worker) matternPoll() {
 	cm := &w.node.cm
 	p := w.proc
-	cost := &w.eng.cfg.Cost
+	cost := &w.node.cost
 	ca := w.eng.cfg.GVT == GVTControlled
 	st := &workerBarrierStats{wait: &w.st.BarrierWait, w: w}
 	isCommLeader := w.commRole() == commPumpAndGVT
@@ -151,7 +164,9 @@ func (w *worker) matternPoll() {
 		cm.roundStart = true
 		w.passes = 0
 		w.setPhase(trace.PhaseGVT)
-		if ca && cm.syncCur {
+		// syncCur is set by CA's efficiency control or by the watchdog's
+		// barrier fallback (which also applies to plain Mattern).
+		if cm.syncCur {
 			w.node.syncPoint(p, isCommLeader, true, st)
 		}
 		slot := uint8(w.epoch & 3)
@@ -172,7 +187,7 @@ func (w *worker) matternPoll() {
 			return
 		}
 		w.setPhase(trace.PhaseGVT)
-		if ca && cm.syncCur {
+		if cm.syncCur {
 			// Algorithm 3 line 14: align before contributing minima.
 			w.node.syncPoint(p, isCommLeader, false, st)
 		}
@@ -197,12 +212,12 @@ func (w *worker) matternPoll() {
 		// No flip back: the round's new epoch is the stable epoch until
 		// the next round drains it.
 		w.applyGVT(cm.gvt)
+		if cm.syncCur {
+			w.st.SyncRounds++
+			// Algorithm 3 line 30: align after fossil collection.
+			w.node.syncPoint(p, isCommLeader, true, st)
+		}
 		if ca {
-			if cm.syncCur {
-				w.st.SyncRounds++
-				// Algorithm 3 line 30: align after fossil collection.
-				w.node.syncPoint(p, isCommLeader, true, st)
-			}
 			// Algorithm 3 line 31: computeEfficiency() every round — the
 			// overhead that costs CA-GVT a few percent against pure
 			// Mattern on computation-dominated models.
@@ -236,8 +251,9 @@ func (n *node) matternCommPoll(p *sim.Proc) bool {
 	dedicated := n.eng.cfg.Comm == CommDedicated
 	worked := false
 
-	// The dedicated comm thread participates in CA's sync points.
-	if dedicated && ca && cm.syncCur {
+	// The dedicated comm thread participates in the sync points of CA (or
+	// watchdog-forced) synchronous rounds.
+	if dedicated && cm.syncCur {
 		if cm.roundStart && !n.sync1Done && cm.phase == phOpen {
 			n.syncPoint(p, true, true, nil)
 			n.sync1Done = true
@@ -257,6 +273,7 @@ func (n *node) matternCommPoll(p *sim.Proc) bool {
 
 	if n.id == 0 {
 		worked = n.masterPoll(p, ca) || worked
+		worked = n.watchdogPoll(p) || worked
 	} else {
 		worked = n.slavePoll(p) || worked
 	}
@@ -268,13 +285,65 @@ func (n *node) matternCommPoll(p *sim.Proc) bool {
 	if cm.phase == phGVTReady && cm.acked == cm.workers &&
 		(n.heldToken == nil || n.heldToken.phase == tokWhite) &&
 		(n.id != 0 || n.master == msCleanup) &&
-		(!ca || !cm.syncCur || !dedicated || n.sync3Done) {
+		(!cm.syncCur || !dedicated || n.sync3Done) {
 		cm.reset()
 		n.master = msIdle
 		n.sync1Done, n.sync2Done, n.sync3Done = false, false, false
+		n.wdRestartsRound = 0
 		worked = true
 	}
 	return worked
+}
+
+// sendMasterToken stamps tok with a fresh lap uid, keeps a copy for
+// watchdog resends, and sends it around the ring.
+func (n *node) sendMasterToken(p *sim.Proc, tok *gvtToken) {
+	n.tokenSeq++
+	tok.uid = n.tokenSeq
+	n.lastSent = *tok
+	n.lastProgress = p.Now()
+	n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+}
+
+// watchdogPoll is the GVT liveness watchdog (master only): when the ring
+// has made no progress for the watchdog timeout — the token, or an ack
+// chain behind it, died beyond the transport's retry budget — it resends
+// the last token unchanged (same uid). Nodes that already served that lap
+// re-apply their memoized contribution; the master discards the duplicate
+// by uid if the original eventually arrives. After WatchdogFallbackAfter
+// restarts within one round, the next round is forced synchronous: a
+// barrier round re-aligns a cluster the asynchronous protocol keeps
+// losing tokens on.
+func (n *node) watchdogPoll(p *sim.Proc) bool {
+	eng := n.eng
+	if eng.wdTimeout <= 0 || eng.world.Size() == 1 {
+		return false
+	}
+	switch n.master {
+	case msWaitA, msWaitB, msWaitC:
+	default:
+		return false
+	}
+	if p.Now()-n.lastProgress <= eng.wdTimeout {
+		return false
+	}
+	tok := n.lastSent
+	n.rank.SendRing(p, tagToken, tok.wireSize(), &tok)
+	n.lastProgress = p.Now()
+	n.wdRestartsRound++
+	eng.wdRestarts++
+	tr := eng.cfg.Trace
+	if tr != nil {
+		tr.Fault(trace.Fault{Kind: trace.FaultWatchdogRestart, AtNanos: int64(p.Now())})
+	}
+	if n.wdRestartsRound >= eng.cfg.WatchdogFallbackAfter && !eng.wdForceSync {
+		eng.wdForceSync = true
+		eng.wdFallbacks++
+		if tr != nil {
+			tr.Fault(trace.Fault{Kind: trace.FaultWatchdogFallback, AtNanos: int64(p.Now())})
+		}
+	}
+	return true
 }
 
 // masterPoll runs node 0's ring-master duties.
@@ -298,7 +367,7 @@ func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
 			return true
 		}
 		tok := &gvtToken{phase: tokWhite, count: n.takeDelta(p), minLVT: vtime.Inf, minRed: vtime.Inf}
-		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		n.sendMasterToken(p, tok)
 		n.master = msWaitA
 		return true
 
@@ -308,6 +377,10 @@ func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
 			return false
 		}
 		tok := m.Payload.(*gvtToken)
+		if tok.uid != n.tokenSeq {
+			return true // stale duplicate of an earlier lap: drop it
+		}
+		n.lastProgress = p.Now()
 		tok.count += n.takeDelta(p)
 		if tok.count == 0 {
 			cm.phase = phWhiteDone
@@ -324,7 +397,7 @@ func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
 			panic(fmt.Sprintf("core: negative in-flight white count %d", tok.count))
 		} else {
 			// Messages still in flight: another lap collects the receipts.
-			n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+			n.sendMasterToken(p, tok)
 		}
 		return true
 
@@ -338,7 +411,7 @@ func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
 			return true
 		}
 		tok := &gvtToken{phase: tokReduce, minLVT: cm.minLVT, minRed: cm.minRed}
-		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		n.sendMasterToken(p, tok)
 		n.master = msWaitB
 		return true
 
@@ -348,16 +421,25 @@ func (n *node) masterPoll(p *sim.Proc, ca bool) bool {
 			return false
 		}
 		tok := m.Payload.(*gvtToken)
+		if tok.uid != n.tokenSeq {
+			return true // stale duplicate of an earlier lap: drop it
+		}
+		n.lastProgress = p.Now()
 		n.publishGVT(p, ca, vtime.Min(tok.minLVT, tok.minRed))
 		out := &gvtToken{phase: tokGVT, gvt: cm.gvt, sync: cm.syncNext}
-		n.rank.SendRing(p, tagToken, out.wireSize(), out)
+		n.sendMasterToken(p, out)
 		n.master = msWaitC
 		return true
 
 	case msWaitC:
-		if _, ok := n.rank.TryRecvRing(p, tagToken); !ok {
+		m, ok := n.rank.TryRecvRing(p, tagToken)
+		if !ok {
 			return false
 		}
+		if m.Payload.(*gvtToken).uid != n.tokenSeq {
+			return true // stale duplicate of an earlier lap: drop it
+		}
+		n.lastProgress = p.Now()
 		n.master = msCleanup
 		return true
 	}
@@ -376,8 +458,14 @@ func (n *node) publishGVT(p *sim.Proc, ca bool, gvt float64) {
 	eff := eng.clusterEfficiency()
 	sync := false
 	if ca {
-		p.Advance(eng.cfg.Cost.EffCompute)
+		p.Advance(n.cost.EffCompute)
 		sync = eff < eng.cfg.CAThreshold
+	}
+	if eng.wdForceSync {
+		// Watchdog barrier fallback: the next round runs synchronously
+		// regardless of algorithm or observed efficiency.
+		sync = true
+		eng.wdForceSync = false
 	}
 	cm.gvt = gvt
 	cm.syncNext = sync
@@ -398,6 +486,20 @@ func (n *node) slavePoll(p *sim.Proc) bool {
 		}
 		tok = m.Payload.(*gvtToken)
 	}
+	if c, served := n.tokMemo[tok.uid]; served {
+		// Watchdog-resent duplicate of a lap this node already folded:
+		// re-apply the recorded contribution and forward. Live CM state is
+		// untouched (its delta was consumed by the original); the master
+		// discards the duplicate by uid if the original lap completed.
+		switch c.phase {
+		case tokWhite:
+			tok.count += c.delta
+		case tokReduce:
+			tok.minLVT, tok.minRed = c.minLVT, c.minRed
+		}
+		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
+		return true
+	}
 	switch tok.phase {
 	case tokWhite:
 		// Hold until this node has reset from the previous round (the
@@ -409,7 +511,9 @@ func (n *node) slavePoll(p *sim.Proc) bool {
 			n.heldToken = tok
 			return false
 		}
-		tok.count += n.takeDelta(p)
+		d := n.takeDelta(p)
+		tok.count += d
+		n.memoize(tok.uid, tokContrib{phase: tokWhite, delta: d})
 		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
 		return true
 	case tokReduce:
@@ -424,14 +528,36 @@ func (n *node) slavePoll(p *sim.Proc) bool {
 		if cm.minRed < tok.minRed {
 			tok.minRed = cm.minRed
 		}
+		n.memoize(tok.uid, tokContrib{phase: tokReduce, minLVT: tok.minLVT, minRed: tok.minRed})
 		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
 		return true
 	case tokGVT:
 		cm.gvt = tok.gvt
 		cm.syncNext = tok.sync
 		cm.phase = phGVTReady
+		n.memoize(tok.uid, tokContrib{phase: tokGVT})
 		n.rank.SendRing(p, tagToken, tok.wireSize(), tok)
 		return true
 	}
 	panic("core: unknown token phase")
+}
+
+// memoize records a served token lap for duplicate re-application,
+// pruning laps far behind the newest (a duplicate can only trail the
+// ring by the watchdog's resend horizon).
+func (n *node) memoize(uid uint64, c tokContrib) {
+	if n.tokMemo == nil {
+		n.tokMemo = make(map[uint64]tokContrib)
+	}
+	n.tokMemo[uid] = c
+	if uid > n.memoMax {
+		n.memoMax = uid
+	}
+	if len(n.tokMemo) > 256 {
+		for k := range n.tokMemo {
+			if k+128 < n.memoMax {
+				delete(n.tokMemo, k)
+			}
+		}
+	}
 }

@@ -119,7 +119,7 @@ func (w *worker) sendAck(ev *event.Event) {
 	src := w.eng.cfg.Topology.GlobalWorkerOf(ev.Src)
 	a := ack{id: ev.AckID, dstWorker: src}
 	srcNode := src / w.eng.cfg.Topology.WorkersPerNode
-	w.proc.Advance(w.eng.cfg.Cost.QueueOp)
+	w.proc.Advance(w.node.cost.QueueOp)
 	if srcNode == w.node.id {
 		w.node.workers[src%w.eng.cfg.Topology.WorkersPerNode].depositAck(w.proc, a)
 		return
@@ -130,7 +130,7 @@ func (w *worker) sendAck(ev *event.Event) {
 // depositAck places an ack into this worker's ack mailbox.
 func (w *worker) depositAck(p *sim.Proc, a ack) {
 	w.ackMu.Lock(p)
-	p.Advance(w.eng.cfg.Cost.RegionalSend)
+	p.Advance(w.node.cost.RegionalSend)
 	w.ackIn = append(w.ackIn, a)
 	w.ackMu.Unlock(p)
 }
@@ -144,7 +144,7 @@ func (w *worker) drainAcks() bool {
 	if len(batch) == 0 {
 		return false
 	}
-	w.proc.Advance(sim.Time(len(batch)) * w.eng.cfg.Cost.InboxDrainPerMsg)
+	w.proc.Advance(sim.Time(len(batch)) * w.node.cost.InboxDrainPerMsg)
 	for _, a := range batch {
 		w.unacked.ack(a.id)
 	}
@@ -172,7 +172,7 @@ func (w *worker) samadiPoll() {
 	w.setPhase(trace.PhaseGVT)
 
 	n.localMin[w.idx] = w.samadiReport()
-	p.Advance(w.eng.cfg.Cost.BarrierEntry)
+	p.Advance(w.node.cost.BarrierEntry)
 	n.barrierWait(p, n.gvtBar, st)
 	if comm {
 		n.commSamadiFinish(p)
@@ -191,7 +191,7 @@ func (n *node) commSamadiRound(p *sim.Proc) {
 
 // commSamadiFinish reduces worker reports into the cluster GVT.
 func (n *node) commSamadiFinish(p *sim.Proc) {
-	p.Advance(n.eng.cfg.Cost.GVTBookkeeping)
+	p.Advance(n.cost.GVTBookkeeping)
 	min := vtime.Inf
 	for _, v := range n.localMin {
 		if v < min {

@@ -156,7 +156,7 @@ func (c *execCtx) Self() event.LPID { return c.lp.id }
 func (c *execCtx) Now() vtime.Time  { return c.ev.Stamp.T }
 func (c *execCtx) RNG() *rng.Stream { return c.lp.rng }
 func (c *execCtx) NumLPs() int      { return c.w.eng.cfg.Topology.TotalLPs() }
-func (c *execCtx) Spin(units int)   { c.w.proc.Advance(c.w.eng.cfg.Cost.EPGCost(units)) }
+func (c *execCtx) Spin(units int)   { c.w.proc.Advance(c.w.node.cost.EPGCost(units)) }
 
 // replayCtx coast-forwards an already-processed event after a partial
 // state restore: model effects replay deterministically, but sends are
@@ -172,7 +172,7 @@ func (c *replayCtx) Self() event.LPID { return c.lp.id }
 func (c *replayCtx) Now() vtime.Time  { return c.ev.Stamp.T }
 func (c *replayCtx) RNG() *rng.Stream { return c.lp.rng }
 func (c *replayCtx) NumLPs() int      { return c.w.eng.cfg.Topology.TotalLPs() }
-func (c *replayCtx) Spin(units int)   { c.w.proc.Advance(c.w.eng.cfg.Cost.EPGCost(units)) }
+func (c *replayCtx) Spin(units int)   { c.w.proc.Advance(c.w.node.cost.EPGCost(units)) }
 
 func (c *replayCtx) Send(event.LPID, vtime.Time, uint16, []byte) {
 	c.lp.seq++

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/mpi"
 	"repro/internal/rng"
@@ -25,6 +26,11 @@ type node struct {
 	id      int
 	workers []*worker
 	rank    *mpi.Rank
+
+	// cost is this node's CPU cost model: the global model, scaled by the
+	// fault plan's straggler factor when this node is a straggler. Every
+	// CPU charge on this node's threads goes through it.
+	cost cluster.CostModel
 
 	// outbox is the "global shared data structure" (§4) worker threads
 	// write remote messages into for the MPI thread to send. outAcks is
@@ -50,6 +56,18 @@ type node struct {
 	workersExited int
 	master        masterState // ring-master state (node 0 only)
 	heldToken     *gvtToken   // token waiting for a local condition
+
+	// Ring-token liveness state. The master (node 0) stamps every token
+	// lap with a fresh uid, keeps a copy for watchdog resends and tracks
+	// when the ring last made progress; slaves memoize the contribution
+	// they folded into each lap so a resent duplicate re-applies it
+	// without touching live CM state.
+	tokenSeq        uint64                // last uid issued (master only)
+	lastSent        gvtToken              // copy of the last token sent (master only)
+	lastProgress    sim.Time              // when the master last saw ring progress
+	wdRestartsRound int                   // watchdog resends within the current round
+	tokMemo         map[uint64]tokContrib // served laps by uid (slaves only)
+	memoMax         uint64                // highest uid memoized (prune horizon)
 	// sync{1,2,3}Done track the dedicated comm thread's participation in
 	// CA-GVT's three per-round synchronization points.
 	sync1Done bool
@@ -63,18 +81,24 @@ func newNode(eng *Engine, id int, streams *rng.Sequence) *node {
 		eng:      eng,
 		id:       id,
 		rank:     eng.world.Rank(id),
+		cost:     eng.cfg.Cost,
 		msgCount: make([]int64, top.WorkersPerNode),
 		localMin: make([]float64, top.WorkersPerNode),
 	}
+	if eng.cfg.Faults != nil {
+		if f, ok := eng.cfg.Faults.Straggler[id]; ok {
+			n.cost = n.cost.Scaled(f)
+		}
+	}
 	n.outMu.Name = fmt.Sprintf("outbox-%d", id)
-	n.outMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	n.outMu.HoldCost = n.cost.RegionalLockHold
 	participants := top.WorkersPerNode
 	if eng.cfg.Comm == CommDedicated {
 		participants++
 	}
 	n.gvtBar = sim.NewBarrier(fmt.Sprintf("gvt-%d", id), participants)
 	n.gvtBar2 = sim.NewBarrier(fmt.Sprintf("gvt2-%d", id), participants)
-	n.cm.init(eng, top.WorkersPerNode)
+	n.cm.init(n, top.WorkersPerNode)
 	for wi := 0; wi < top.WorkersPerNode; wi++ {
 		n.workers = append(n.workers, newWorker(eng, n, wi, streams))
 	}
@@ -99,7 +123,7 @@ func (n *node) commLoop(p *sim.Proc) {
 		worked := n.pump(p)
 		worked = n.gvtCommPoll(p) || worked
 		if !worked {
-			p.Advance(n.eng.cfg.Cost.IdlePoll)
+			p.Advance(n.cost.IdlePoll)
 		}
 	}
 }
@@ -205,7 +229,7 @@ type remoteAck struct {
 // enqueueRemoteAck appends a Samadi ack to the node's outbound structure.
 func (n *node) enqueueRemoteAck(p *sim.Proc, a ack, dstNode int) {
 	n.outMu.Lock(p)
-	p.Advance(n.eng.cfg.Cost.RemoteEnqueue)
+	p.Advance(n.cost.RemoteEnqueue)
 	n.outAcks = append(n.outAcks, remoteAck{a: a, dstNode: dstNode})
 	n.outMu.Unlock(p)
 }
@@ -214,7 +238,7 @@ func (n *node) enqueueRemoteAck(p *sim.Proc, a ack, dstNode int) {
 // of the remote path).
 func (n *node) enqueueRemote(p *sim.Proc, ev *event.Event) {
 	n.outMu.Lock(p)
-	p.Advance(n.eng.cfg.Cost.RemoteEnqueue)
+	p.Advance(n.cost.RemoteEnqueue)
 	n.outbox = append(n.outbox, ev)
 	if h := n.eng.hOutboxDepth; h != nil {
 		h.Observe(int64(len(n.outbox)))
@@ -251,7 +275,7 @@ func (n *node) gvtCommPoll(p *sim.Proc) bool {
 // is node-local (global=false) — its cross-node alignment comes from the
 // token protocol, which avoids a circular wait with the reduce token.
 func (n *node) syncPoint(p *sim.Proc, comm, global bool, st *workerBarrierStats) {
-	cost := n.eng.cfg.Cost.BarrierEntry
+	cost := n.cost.BarrierEntry
 	p.Advance(cost)
 	n.barrierWait(p, n.gvtBar, st)
 	if comm && global && n.eng.world.Size() > 1 {

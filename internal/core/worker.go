@@ -83,9 +83,9 @@ func newWorker(eng *Engine, n *node, idx int, streams *rng.Sequence) *worker {
 		phase:   0xFF,
 	}
 	w.inMu.Name = fmt.Sprintf("inbox-%d/%d", n.id, idx)
-	w.inMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	w.inMu.HoldCost = n.cost.RegionalLockHold
 	w.ackMu.Name = fmt.Sprintf("acks-%d/%d", n.id, idx)
-	w.ackMu.HoldCost = eng.cfg.Cost.RegionalLockHold
+	w.ackMu.HoldCost = n.cost.RegionalLockHold
 	w.unacked.init()
 	w.firstLP = eng.cfg.Topology.FirstLP(n.id, idx)
 	for i := 0; i < eng.cfg.Topology.LPsPerWorker; i++ {
@@ -153,8 +153,8 @@ func (w *worker) run(p *sim.Proc) {
 		}
 		w.gvtPoll(worked)
 		if !worked {
-			w.st.IdleTime += cfg.Cost.IdlePoll
-			p.Advance(cfg.Cost.IdlePoll)
+			w.st.IdleTime += w.node.cost.IdlePoll
+			p.Advance(w.node.cost.IdlePoll)
 		}
 	}
 	w.node.workersExited++
@@ -215,7 +215,7 @@ func (w *worker) drainInbox() bool {
 	}
 	// Charge the per-message drain cost for the whole batch up front (one
 	// kernel transition instead of one per message).
-	cost := &w.eng.cfg.Cost
+	cost := &w.node.cost
 	w.proc.Advance(sim.Time(len(batch)) * (cost.InboxDrainPerMsg + cost.QueueOp))
 	samadi := w.eng.samadiEnabled()
 	for _, ev := range batch {
@@ -233,7 +233,7 @@ func (w *worker) drainInbox() bool {
 // (a regional sender or the comm thread) the shared-memory send cost.
 func (w *worker) deposit(p *sim.Proc, ev *event.Event) {
 	w.inMu.Lock(p)
-	p.Advance(w.eng.cfg.Cost.RegionalSend)
+	p.Advance(w.node.cost.RegionalSend)
 	w.inbox = append(w.inbox, ev)
 	w.inMu.Unlock(p)
 }
@@ -314,14 +314,14 @@ func (w *worker) processOne(ev *event.Event) {
 		panic(fmt.Sprintf("core: pending straggler leaked to processing: %v behind %v", ev, l.lastStamp()))
 	}
 	cfg := &w.eng.cfg
-	w.proc.Advance(cfg.Cost.EventOverhead)
+	w.proc.Advance(w.node.cost.EventOverhead)
 	entry := histEntry{ev: ev}
 	if l.sinceSnap == 0 {
 		entry.hasSnap = true
 		entry.snapping = l.model.Snapshot()
 		entry.snapRNG = l.rng.Save()
 		entry.snapSeq = l.seq
-		w.proc.Advance(cfg.Cost.StateSave)
+		w.proc.Advance(w.node.cost.StateSave)
 	}
 	l.sinceSnap++
 	if l.sinceSnap >= cfg.CheckpointInterval {
@@ -351,7 +351,7 @@ func (w *worker) route(ev *event.Event) {
 		w.st.SentLocal++
 		// Queue insertion is charged here; delivery itself is free of
 		// kernel transitions (no transit for self-sends).
-		w.proc.Advance(cfg.Cost.LocalSend + cfg.Cost.QueueOp)
+		w.proc.Advance(w.node.cost.LocalSend + w.node.cost.QueueOp)
 		w.deliver(ev)
 		return
 	case event.Regional:
@@ -420,7 +420,7 @@ func (w *worker) rollback(l *lp, s vtime.Stamp, straggler bool) {
 	}
 
 	cfg := &w.eng.cfg
-	w.proc.Advance(sim.Time(len(popped)) * (cfg.Cost.RollbackPerEvent + cfg.Cost.QueueOp))
+	w.proc.Advance(sim.Time(len(popped)) * (w.node.cost.RollbackPerEvent + w.node.cost.QueueOp))
 	w.uncommitted -= len(popped)
 	w.st.Rollbacks++
 	w.st.RolledBack += int64(len(popped))
@@ -513,7 +513,7 @@ func (w *worker) applyGVT(g float64) {
 	}
 	if freed > 0 {
 		w.uncommitted -= int(freed)
-		w.proc.Advance(sim.Time(freed) * cfg.Cost.FossilPerEvent)
+		w.proc.Advance(sim.Time(freed) * w.node.cost.FossilPerEvent)
 	}
 	w.gvtView = g
 	w.st.GVTRounds++

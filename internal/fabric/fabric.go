@@ -11,6 +11,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,11 @@ type Packet struct {
 	Tag      int
 	Size     int // wire bytes, used for the bandwidth term
 	Payload  any
+	// Seq and Ctl belong to the reliable-transport header (package mpi):
+	// Seq is the per-link sequence number, Ctl distinguishes raw (0),
+	// sequenced data, and ack frames. The fabric carries them opaquely.
+	Seq uint64
+	Ctl uint8
 }
 
 // Handler consumes packets as they are delivered to an endpoint. It runs
@@ -62,6 +68,16 @@ type Fabric struct {
 	BytesSent         int64
 	MessagesDelivered int64
 	BytesDelivered    int64
+
+	// FaultHook, if set, observes every injected fault (for tracing).
+	FaultHook func(FaultEvent)
+
+	// Fault-injection state; nil faults means a perfect wire.
+	faults      *FaultPlan
+	frng        *rng.Stream
+	fstats      FaultStats
+	inflight    map[uint64]Packet
+	inflightSeq uint64
 }
 
 type linkKey struct{ src, dst int }
@@ -77,6 +93,9 @@ func New(env *sim.Env, n int, params Params) *Fabric {
 	}
 }
 
+// Params returns the interconnect parameters.
+func (f *Fabric) Params() Params { return f.params }
+
 // Attach registers the delivery handler for endpoint id.
 func (f *Fabric) Attach(id int, h Handler) {
 	if f.handlers[id] != nil {
@@ -87,23 +106,65 @@ func (f *Fabric) Attach(id int, h Handler) {
 
 // Send puts pkt on the wire at the current virtual time. Delivery happens
 // after latency plus the bandwidth term, no earlier than any previously
-// sent message on the same (src, dst) link.
+// sent message on the same (src, dst) link. Under a fault plan the packet
+// may additionally be dropped, duplicated, or jitter-delayed; a lossy wire
+// does not preserve FIFO order (the reliable transport in package mpi
+// restores it).
 func (f *Fabric) Send(pkt Packet) {
+	if pkt.Dst < 0 || pkt.Dst >= len(f.handlers) {
+		panic(fmt.Sprintf("fabric: send to endpoint %d outside [0,%d) (src %d, tag %d)",
+			pkt.Dst, len(f.handlers), pkt.Src, pkt.Tag))
+	}
+	if pkt.Src < 0 || pkt.Src >= len(f.handlers) {
+		panic(fmt.Sprintf("fabric: send from endpoint %d outside [0,%d) (dst %d, tag %d)",
+			pkt.Src, len(f.handlers), pkt.Dst, pkt.Tag))
+	}
 	h := f.handlers[pkt.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("fabric: send to unattached endpoint %d", pkt.Dst))
 	}
-	arrival := f.env.Now() + f.params.TransferTime(pkt.Size)
-	key := linkKey{pkt.Src, pkt.Dst}
-	if prev := f.lastArrival[key]; arrival < prev {
-		arrival = prev
+	if f.faults == nil {
+		arrival := f.env.Now() + f.params.TransferTime(pkt.Size)
+		key := linkKey{pkt.Src, pkt.Dst}
+		if prev := f.lastArrival[key]; arrival < prev {
+			arrival = prev
+		}
+		f.lastArrival[key] = arrival
+		f.transmit(pkt, arrival-f.env.Now(), h)
+		return
 	}
-	f.lastArrival[key] = arrival
+	// Fault path. Each physical transmission attempt draws its own faults;
+	// no FIFO clamp — a lossy, jittery wire reorders freely.
+	lf := f.faults.linkFor(pkt.Src, pkt.Dst)
+	base := f.params.TransferTime(pkt.Size)
+	if extra, dropped := f.faultedDelay(&pkt, lf); !dropped {
+		f.transmit(pkt, base+extra, h)
+	}
+	if lf.Duplicate > 0 && f.frng.Float64() < lf.Duplicate {
+		if extra, dropped := f.faultedDelay(&pkt, lf); !dropped {
+			f.fault(FaultDuplicate, pkt.Src, pkt.Dst, 0)
+			f.transmit(pkt, base+extra, h)
+		}
+	}
+}
+
+// transmit schedules one physical delivery of pkt after delay, keeping the
+// wire counters and the in-flight index (when tracking is enabled).
+func (f *Fabric) transmit(pkt Packet, delay sim.Time, h Handler) {
 	f.MessagesSent++
 	f.BytesSent += int64(pkt.Size)
-	f.env.After(arrival-f.env.Now(), func() {
+	var id uint64
+	if f.inflight != nil {
+		f.inflightSeq++
+		id = f.inflightSeq
+		f.inflight[id] = pkt
+	}
+	f.env.After(delay, func() {
 		f.MessagesDelivered++
 		f.BytesDelivered += int64(pkt.Size)
+		if f.inflight != nil {
+			delete(f.inflight, id)
+		}
 		h(pkt)
 	})
 }

@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendBoundsCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pkt  Packet
+		want string
+	}{
+		{"dst high", Packet{Src: 0, Dst: 5}, "fabric: send to endpoint 5 outside [0,2)"},
+		{"dst negative", Packet{Src: 0, Dst: -1}, "fabric: send to endpoint -1 outside [0,2)"},
+		{"src high", Packet{Src: 9, Dst: 1}, "fabric: send from endpoint 9 outside [0,2)"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sim.NewEnv()
+			f := New(env, 2, Params{Latency: 100})
+			f.Attach(0, func(Packet) {})
+			f.Attach(1, func(Packet) {})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic")
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, tc.want) {
+					t.Fatalf("panic = %v, want message containing %q", r, tc.want)
+				}
+			}()
+			f.Send(tc.pkt)
+		})
+	}
+}
+
+func TestFaultDropAndDuplicate(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 2, Params{Latency: 100})
+	if err := f.SetFaults(&FaultPlan{Link: LinkFaults{Drop: 0.3, Duplicate: 0.3}}, 42); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(Packet) { delivered++ })
+	const n = 2000
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			f.Send(Packet{Src: 0, Dst: 1, Tag: i})
+			p.Advance(10)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.FaultStats()
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("expected drops and duplicates, got %+v", st)
+	}
+	// Every send attempt ends delivered or dropped. Duplicate attempts add
+	// extra attempts beyond n, each also delivered (counted in Duplicated)
+	// or dropped (counted in Dropped), so:
+	//   delivered + Dropped - Duplicated = n + (dup attempts that dropped) >= n.
+	if delivered+int(st.Dropped)-int(st.Duplicated) < n {
+		t.Fatalf("conservation violated: delivered=%d stats=%+v", delivered, st)
+	}
+	// Rough rate check: drop prob 0.3 over 2000 sends.
+	if st.Dropped < n/10 || st.Dropped > n/2 {
+		t.Fatalf("drop count %d wildly off 0.3 rate over %d sends", st.Dropped, n)
+	}
+	if msgs, _ := f.InFlight(); msgs != 0 {
+		t.Fatalf("%d packets stuck in flight", msgs)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (int, FaultStats, []sim.Time) {
+		env := sim.NewEnv()
+		f := New(env, 2, Params{Latency: 100})
+		plan := &FaultPlan{Link: LinkFaults{Drop: 0.2, Duplicate: 0.2, Jitter: 500}}
+		if err := f.SetFaults(plan, 7); err != nil {
+			t.Fatal(err)
+		}
+		var delivered int
+		var at []sim.Time
+		f.Attach(0, func(Packet) {})
+		f.Attach(1, func(Packet) { delivered++; at = append(at, env.Now()) })
+		env.Spawn("sender", func(p *sim.Proc) {
+			for i := 0; i < 500; i++ {
+				f.Send(Packet{Src: 0, Dst: 1, Tag: i})
+				p.Advance(37)
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return delivered, f.FaultStats(), at
+	}
+	d1, s1, at1 := run()
+	d2, s2, at2 := run()
+	if d1 != d2 || s1 != s2 || len(at1) != len(at2) {
+		t.Fatalf("non-deterministic: (%d %+v) vs (%d %+v)", d1, s1, d2, s2)
+	}
+	for i := range at1 {
+		if at1[i] != at2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, at1[i], at2[i])
+		}
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 2, Params{Latency: 100})
+	// Window open during [0,500) of every 1000ns period, full drop.
+	plan := &FaultPlan{Windows: []Window{{Src: -1, Dst: 1, Every: 1000, Open: 500, Drop: 1}}}
+	if err := f.SetFaults(plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(p Packet) { got = append(got, p.Tag) })
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			// Sends at t=0,250,500,...: even sends land in the open window.
+			f.Send(Packet{Src: 0, Dst: 1, Tag: i})
+			p.Advance(250)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 6, 7} // t=500,750,1500,1750 — window closed
+	if len(got) != len(want) {
+		t.Fatalf("delivered tags %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered tags %v, want %v", got, want)
+		}
+	}
+	if st := f.FaultStats(); st.WindowDropped != 6 {
+		t.Fatalf("WindowDropped = %d, want 6", st.WindowDropped)
+	}
+}
+
+func TestFaultHookAndInFlight(t *testing.T) {
+	env := sim.NewEnv()
+	f := New(env, 2, Params{Latency: 100})
+	if err := f.SetFaults(&FaultPlan{Link: LinkFaults{Drop: 0.5}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	var hooked int
+	f.FaultHook = func(ev FaultEvent) {
+		if ev.Kind != FaultDrop || ev.Src != 0 || ev.Dst != 1 {
+			t.Errorf("unexpected fault event %+v", ev)
+		}
+		hooked++
+	}
+	var inflightSeen int
+	f.Attach(0, func(Packet) {})
+	f.Attach(1, func(Packet) {})
+	env.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			f.Send(Packet{Src: 0, Dst: 1, Tag: i})
+		}
+		// All surviving packets are on the wire right now.
+		f.ForEachInFlight(func(Packet) { inflightSeen++ })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.FaultStats()
+	if hooked == 0 || int64(hooked) != st.Dropped {
+		t.Fatalf("hook fired %d times, stats %+v", hooked, st)
+	}
+	if inflightSeen != 100-int(st.Dropped) {
+		t.Fatalf("saw %d in flight, want %d", inflightSeen, 100-st.Dropped)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		plan, err := Scenario(name, 4)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if plan == nil {
+			t.Fatalf("Scenario(%q) returned nil plan", name)
+		}
+		if err := plan.Validate(4); err != nil {
+			t.Fatalf("Scenario(%q) invalid: %v", name, err)
+		}
+	}
+	if plan, err := Scenario("none", 4); err != nil || plan != nil {
+		t.Fatalf("Scenario(none) = %v, %v", plan, err)
+	}
+	if _, err := Scenario("bogus", 4); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []*FaultPlan{
+		{Link: LinkFaults{Drop: 1.5}},
+		{Link: LinkFaults{Drop: 1}},
+		{Link: LinkFaults{Jitter: -1}},
+		{Links: map[LinkID]LinkFaults{{Src: 9, Dst: 0}: {}}},
+		{Windows: []Window{{Every: 100, Open: 100}}},
+		{Windows: []Window{{Every: 100, Open: 50, Drop: 2}}},
+		{Straggler: map[int]float64{0: 0.5}},
+		{Straggler: map[int]float64{9: 2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("plan %d: expected validation error", i)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/stats"
@@ -37,6 +38,11 @@ type Options struct {
 	CAThreshold float64
 	Verbose     bool // print each run's summary line as it finishes
 
+	// FaultScenario, when non-empty, runs every cell under the named
+	// built-in fault plan (see fabric.ScenarioNames) with the reliable
+	// transport and GVT liveness watchdog active.
+	FaultScenario string
+
 	// Reports, when non-nil, collects one telemetry run report per engine
 	// execution (with per-round time series sampled at SampleCap points).
 	Reports *metrics.ReportSet
@@ -57,7 +63,8 @@ func DefaultOptions() Options {
 	}
 }
 
-// Cell is one measured run.
+// Cell is one measured run. A Failed cell records why the run died
+// (engine error or panic) instead of aborting the whole sweep.
 type Cell struct {
 	Rate        float64 `json:"rate"` // committed events per virtual second
 	Efficiency  float64 `json:"efficiency"`
@@ -68,6 +75,8 @@ type Cell struct {
 	SyncRounds  int64   `json:"sync_rounds"`
 	GVTRounds   int64   `json:"gvt_rounds"`
 	BarrierWait float64 `json:"barrier_wait_s"` // virtual seconds summed over workers
+	Failed      bool    `json:"failed,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 func cellOf(r *stats.Run) Cell {
@@ -162,8 +171,27 @@ func (s runSpec) model(opt Options, top cluster.Topology) core.ModelFactory {
 	return phold.New(p)
 }
 
-// execute runs one spec and returns its cell.
+// execute runs one spec and returns its cell. A failed run (engine error,
+// invariant panic, invalid fault scenario) yields a Failed cell instead of
+// tearing down the sweep — the remaining cells still get measured.
 func (s runSpec) execute(opt Options, w io.Writer) Cell {
+	cell, err := s.run(opt, w)
+	if err != nil {
+		if w != nil {
+			fmt.Fprintf(w, "  [%d nodes %v/%v wl=%d] FAILED: %v\n",
+				s.nodes, s.gvt, s.comm, s.workload, err)
+		}
+		return Cell{Failed: true, Error: err.Error()}
+	}
+	return cell
+}
+
+func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: run %+v panicked: %v", s, r)
+		}
+	}()
 	top := cluster.Topology{
 		Nodes:          s.nodes,
 		WorkersPerNode: opt.WorkersPerNode,
@@ -189,13 +217,23 @@ func (s runSpec) execute(opt Options, w io.Writer) Cell {
 		CheckpointInterval: s.checkpoint,
 		Model:              s.model(opt, top),
 	}
+	if opt.FaultScenario != "" {
+		plan, ferr := fabric.Scenario(opt.FaultScenario, top.Nodes)
+		if ferr != nil {
+			return Cell{}, ferr
+		}
+		if plan != nil {
+			cfg.Faults = plan
+			cfg.FaultLabel = opt.FaultScenario
+		}
+	}
 	if opt.Reports != nil {
 		cfg.Metrics = &metrics.Recorder{MaxSamples: opt.SampleCap}
 	}
 	eng := core.New(cfg)
 	r, err := eng.Run()
 	if err != nil {
-		panic(fmt.Sprintf("harness: run %+v failed: %v", s, err))
+		return Cell{}, fmt.Errorf("harness: run %+v failed: %w", s, err)
 	}
 	if opt.Reports != nil {
 		rep := eng.Report(r)
@@ -206,7 +244,7 @@ func (s runSpec) execute(opt Options, w io.Writer) Cell {
 		fmt.Fprintf(w, "  [%d nodes %v/%v wl=%d] rate=%.4g eff=%.1f%% rb=%d\n",
 			s.nodes, s.gvt, s.comm, s.workload, r.EventRate(), 100*r.Efficiency(), r.Workers.Rollbacks)
 	}
-	return cellOf(r)
+	return cellOf(r), nil
 }
 
 // sweep runs one curve across the node counts.
@@ -653,6 +691,10 @@ func (t Table) Render(w io.Writer) {
 	for _, s := range t.Series {
 		fmt.Fprintf(w, "%-*s", width+2, s.Label)
 		for _, c := range s.Cells {
+			if c.Failed {
+				fmt.Fprintf(w, "  %16s", "FAILED")
+				continue
+			}
 			fmt.Fprintf(w, "  %9.4g/%5.1f%%", c.Rate, 100*c.Efficiency)
 		}
 		fmt.Fprintln(w)

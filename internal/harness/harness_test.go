@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // miniOptions keeps harness tests fast: tiny cluster, short run.
@@ -146,6 +148,63 @@ func TestSingleNodeDropsRemoteTraffic(t *testing.T) {
 	spec := runSpec{nodes: 1, workload: WorkloadComm, interval: 10}
 	// Must not panic (phold rejects remote percentages on one node).
 	spec.execute(opt, nil)
+}
+
+func TestFailedRunRecordsCellAndContinues(t *testing.T) {
+	// An unknown fault scenario makes every run fail; the sweep must not
+	// panic, and each cell must carry the error instead of measurements.
+	opt := miniOptions()
+	opt.FaultScenario = "not-a-scenario"
+	var buf bytes.Buffer
+	cells := sweep(opt, &buf, runSpec{workload: WorkloadComp, interval: 10})
+	if len(cells) != len(opt.NodeCounts) {
+		t.Fatalf("sweep recorded %d cells, want %d", len(cells), len(opt.NodeCounts))
+	}
+	for i, c := range cells {
+		if !c.Failed {
+			t.Errorf("cell %d not marked failed: %+v", i, c)
+		}
+		if !strings.Contains(c.Error, "not-a-scenario") {
+			t.Errorf("cell %d error %q does not name the scenario", i, c.Error)
+		}
+		if c.Rate != 0 || c.Committed != 0 {
+			t.Errorf("failed cell %d carries measurements: %+v", i, c)
+		}
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Errorf("sweep output does not report the failure: %q", buf.String())
+	}
+	var text bytes.Buffer
+	Table{XVals: []string{"1", "2"}, Series: []Series{{Label: "faulty", Cells: cells}}}.Render(&text)
+	if !strings.Contains(text.String(), "FAILED") {
+		t.Errorf("Render does not mark failed cells: %q", text.String())
+	}
+}
+
+func TestPanickingRunRecordsCell(t *testing.T) {
+	// A config the engine rejects at construction (zero workers) panics in
+	// core.New; execute must convert that into a failed cell.
+	opt := miniOptions()
+	opt.WorkersPerNode = 0
+	spec := runSpec{nodes: 1, workload: WorkloadComp, interval: 10}
+	c := spec.execute(opt, nil)
+	if !c.Failed || !strings.Contains(c.Error, "panicked") {
+		t.Fatalf("cell = %+v, want a recovered panic", c)
+	}
+}
+
+func TestFaultScenarioOption(t *testing.T) {
+	// A real scenario must still produce a valid measured cell.
+	opt := miniOptions()
+	opt.FaultScenario = "drop"
+	spec := runSpec{nodes: 2, gvt: core.GVTMattern, workload: WorkloadComp, interval: 10}
+	c := spec.execute(opt, nil)
+	if c.Failed {
+		t.Fatalf("drop-scenario run failed: %s", c.Error)
+	}
+	if c.Rate <= 0 || c.Committed <= 0 {
+		t.Errorf("implausible faulty cell %+v", c)
+	}
 }
 
 func TestDefaultOptionsSane(t *testing.T) {

@@ -28,6 +28,10 @@ type RunConfig struct {
 	BatchSize          int     `json:"batch_size"`
 	CheckpointInterval int     `json:"checkpoint_interval"`
 	MaxUncommitted     int     `json:"max_uncommitted"`
+	// Faults names the fault scenario the run executed under ("" for a
+	// perfect fabric; omitted from the JSON so fault-free reports are
+	// byte-identical to pre-fault-injection ones).
+	Faults string `json:"faults,omitempty"`
 }
 
 // RunStats is the final-aggregate block of a run report (the same
@@ -58,6 +62,18 @@ type RunStats struct {
 	MPIMessages    int64   `json:"mpi_messages"`
 	MPIBytes       int64   `json:"mpi_bytes"`
 	CommitChecksum string  `json:"commit_checksum"`
+
+	// Robustness counters (see stats.Run); omitted when zero so
+	// fault-free reports keep their pre-fault-injection byte layout.
+	Retransmits        int64 `json:"retransmits,omitempty"`
+	TransportDups      int64 `json:"transport_dups,omitempty"`
+	TransportExhausted int64 `json:"transport_exhausted,omitempty"`
+	FaultDrops         int64 `json:"fault_drops,omitempty"`
+	FaultDups          int64 `json:"fault_dups,omitempty"`
+	FaultJitters       int64 `json:"fault_jitters,omitempty"`
+	FaultWindowDrops   int64 `json:"fault_window_drops,omitempty"`
+	WatchdogRestarts   int64 `json:"watchdog_restarts,omitempty"`
+	WatchdogFallbacks  int64 `json:"watchdog_fallbacks,omitempty"`
 }
 
 // WorkerSeries is one worker's sampled time series. Samples are in

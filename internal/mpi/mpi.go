@@ -83,7 +83,7 @@ func NewWorld(env *sim.Env, n int, net fabric.Params, costs Costs) *World {
 		}
 		w.ranks = append(w.ranks, r)
 		id := i
-		w.fabric.Attach(id, func(pkt fabric.Packet) { w.ranks[id].deliver(pkt) })
+		w.fabric.Attach(id, func(pkt fabric.Packet) { w.ranks[id].receive(pkt) })
 	}
 	return w
 }
@@ -109,6 +109,8 @@ type Rank struct {
 	// case for event traffic under backlog).
 	stash []Message
 	head  int
+	// rel is the reliable-transport state; nil when disabled.
+	rel *reliable
 }
 
 // ID returns the rank number.
@@ -145,7 +147,12 @@ func (r *Rank) Send(p *sim.Proc, dst, tag, size int, payload any) {
 	}
 	r.lock.Lock(p)
 	p.Advance(r.world.costs.Send)
-	r.world.fabric.Send(fabric.Packet{Src: r.id, Dst: dst, Tag: tag, Size: size, Payload: payload})
+	pkt := fabric.Packet{Src: r.id, Dst: dst, Tag: tag, Size: size, Payload: payload}
+	if r.rel != nil {
+		r.sendData(pkt)
+	} else {
+		r.world.fabric.Send(pkt)
+	}
 	r.lock.Unlock(p)
 }
 
@@ -227,8 +234,7 @@ func (r *Rank) AllreduceSum(p *sim.Proc, val int64) int64 {
 	if r.id == 0 {
 		total := val
 		for src := 1; src < n; src++ {
-			m := r.RecvFrom(p, src, tagReduceArrive)
-			total += m.Payload.(int64)
+			total += int64Payload(r.RecvFrom(p, src, tagReduceArrive))
 		}
 		for dst := 1; dst < n; dst++ {
 			r.Send(p, dst, tagReduceResult, 8, total)
@@ -236,7 +242,7 @@ func (r *Rank) AllreduceSum(p *sim.Proc, val int64) int64 {
 		return total
 	}
 	r.Send(p, 0, tagReduceArrive, 8, val)
-	return r.RecvFrom(p, 0, tagReduceResult).Payload.(int64)
+	return int64Payload(r.RecvFrom(p, 0, tagReduceResult))
 }
 
 // AllreduceMin returns the minimum of every rank's val (rank-0-rooted).
@@ -248,8 +254,7 @@ func (r *Rank) AllreduceMin(p *sim.Proc, val float64) float64 {
 	if r.id == 0 {
 		min := val
 		for src := 1; src < n; src++ {
-			m := r.RecvFrom(p, src, tagReduceArrive)
-			if v := m.Payload.(float64); v < min {
+			if v := float64Payload(r.RecvFrom(p, src, tagReduceArrive)); v < min {
 				min = v
 			}
 		}
@@ -259,7 +264,27 @@ func (r *Rank) AllreduceMin(p *sim.Proc, val float64) float64 {
 		return min
 	}
 	r.Send(p, 0, tagReduceArrive, 8, val)
-	return r.RecvFrom(p, 0, tagReduceResult).Payload.(float64)
+	return float64Payload(r.RecvFrom(p, 0, tagReduceResult))
+}
+
+// int64Payload asserts an allreduce payload, diagnosing tag collisions.
+func int64Payload(m Message) int64 {
+	v, ok := m.Payload.(int64)
+	if !ok {
+		panic(fmt.Sprintf("mpi: allreduce expected int64 payload, got %T from src %d tag %d (reserved-tag collision?)",
+			m.Payload, m.Src, m.Tag))
+	}
+	return v
+}
+
+// float64Payload asserts an allreduce payload, diagnosing tag collisions.
+func float64Payload(m Message) float64 {
+	v, ok := m.Payload.(float64)
+	if !ok {
+		panic(fmt.Sprintf("mpi: allreduce expected float64 payload, got %T from src %d tag %d (reserved-tag collision?)",
+			m.Payload, m.Src, m.Tag))
+	}
+	return v
 }
 
 // SendRing forwards a token to the next rank in the ring.

@@ -101,6 +101,7 @@ type event struct {
 	seq uint64
 	p   *Proc  // non-nil: resume this process
 	fn  func() // non-nil: run this callback (must not block)
+	src string // callback origin: the process that scheduled it (for diagnostics)
 }
 
 type eventHeap []event
@@ -170,7 +171,14 @@ type Env struct {
 
 	sameTimeCount int
 	lastDispatch  Time
+	cbSrc         string         // origin of the callback currently executing
+	sameTimeBy    map[string]int // dispatch counts per origin near the livelock limit
 }
+
+// livelockWindow is how many dispatches before the livelock limit the
+// kernel starts attributing events to their origin, so the panic can name
+// the stuck process without charging bookkeeping to healthy runs.
+const livelockWindow = 1024
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
@@ -228,7 +236,15 @@ func (e *Env) After(d Time, fn func()) {
 	if d < 0 {
 		panic("sim: After with negative delay")
 	}
-	e.heap.push(event{at: e.now + d, seq: e.nextSeq(), fn: fn})
+	// Record the scheduling origin: the running process, or — when called
+	// from another callback — that callback's own origin, so chains of
+	// rescheduled callbacks (e.g. retransmission timers) stay attributed
+	// to the process that started them.
+	src := e.cbSrc
+	if e.cur != nil {
+		src = e.cur.name
+	}
+	e.heap.push(event{at: e.now + d, seq: e.nextSeq(), fn: fn, src: src})
 }
 
 // makeRunnable schedules p to resume at the current time.
@@ -274,16 +290,26 @@ func (e *Env) Run() error {
 		}
 		if ev.at == e.lastDispatch {
 			e.sameTimeCount++
+			if e.sameTimeCount > limit-livelockWindow {
+				if e.sameTimeBy == nil {
+					e.sameTimeBy = make(map[string]int)
+				}
+				e.sameTimeBy[eventOrigin(ev)]++
+			}
 			if e.sameTimeCount > limit {
-				panic(fmt.Sprintf("sim: virtual livelock at t=%v (>%d events without advancing time)", e.now, limit))
+				panic(fmt.Sprintf("sim: virtual livelock at t=%v (>%d events without advancing time); stuck process: %s",
+					e.now, limit, e.livelockCulprit()))
 			}
 		} else {
 			e.sameTimeCount = 0
 			e.lastDispatch = ev.at
+			e.sameTimeBy = nil
 		}
 		e.now = ev.at
 		if ev.fn != nil {
+			e.cbSrc = ev.src
 			ev.fn()
+			e.cbSrc = ""
 			continue
 		}
 		p := ev.p
@@ -310,6 +336,29 @@ func (e *Env) Run() error {
 		return &DeadlockError{Now: e.now, Procs: blocked}
 	}
 	return nil
+}
+
+// eventOrigin names the source of a dispatched event for diagnostics.
+func eventOrigin(ev event) string {
+	switch {
+	case ev.p != nil:
+		return ev.p.name
+	case ev.src != "":
+		return ev.src + " (callback)"
+	}
+	return "scheduler callback"
+}
+
+// livelockCulprit names the origin responsible for the most dispatches in
+// the final window before the livelock limit, ties broken alphabetically.
+func (e *Env) livelockCulprit() string {
+	culprit, max := "unknown", 0
+	for src, n := range e.sameTimeBy {
+		if n > max || (n == max && src < culprit) {
+			culprit, max = src, n
+		}
+	}
+	return fmt.Sprintf("%q (%d of last %d dispatches)", culprit, max, livelockWindow)
 }
 
 // yield returns control to the scheduler. The process must already have

@@ -410,8 +410,45 @@ func TestLivelockDetection(t *testing.T) {
 		}
 	})
 	defer func() {
-		if recover() == nil {
-			t.Error("virtual livelock did not panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("virtual livelock did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, `"spinner"`) {
+			t.Errorf("livelock panic %q does not name the spinning process", msg)
+		}
+	}()
+	_ = env.Run()
+}
+
+func TestLivelockNamesRetransmitLoop(t *testing.T) {
+	// A zero-delay retransmission timer that re-arms itself from callback
+	// context never advances time: the livelock detector must fire and the
+	// panic must identify the process that armed the loop — not just the
+	// anonymous callbacks, which dominate the dispatch stream.
+	env := NewEnv()
+	env.LivelockLimit = 5000
+	var rearm func()
+	rearm = func() {
+		env.After(0, rearm) // zero RTO: retransmit forever at one instant
+	}
+	env.Spawn("nic-0", func(p *Proc) {
+		env.After(0, rearm)
+	})
+	env.Spawn("bystander", func(p *Proc) {
+		p.Advance(10)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("virtual livelock did not panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"virtual livelock", `"nic-0 (callback)"`} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("livelock panic %q missing %q", msg, want)
+			}
 		}
 	}()
 	_ = env.Run()

@@ -113,6 +113,21 @@ type Run struct {
 	// CommitChecksum is an order-sensitive FNV-1a digest of the committed
 	// event stream, comparable against the sequential oracle.
 	CommitChecksum uint64
+
+	// Robustness counters, all zero in fault-free runs: the reliable
+	// transport's retransmission activity, the fabric's injected faults
+	// by kind, and the GVT liveness watchdog's interventions. They are
+	// deliberately excluded from String() so fault-free summaries are
+	// unchanged.
+	Retransmits        int64 // data frames re-sent after an RTO expiry
+	TransportDups      int64 // received duplicate frames suppressed
+	TransportExhausted int64 // frames abandoned after their retry budget
+	FaultDrops         int64 // packets dropped by the fault plan
+	FaultDups          int64 // packets duplicated by the fault plan
+	FaultJitters       int64 // packets delayed by jitter
+	FaultWindowDrops   int64 // packets lost in partition/degradation windows
+	WatchdogRestarts   int64 // GVT tokens resent by the liveness watchdog
+	WatchdogFallbacks  int64 // rounds forced synchronous by the watchdog
 }
 
 // Efficiency returns committed / processed (the paper's committed over

@@ -35,7 +35,40 @@ const (
 	recMPISend  = uint8(4) // one MPI data-plane send (v1+)
 	recMPIRecv  = uint8(5) // one MPI data-plane receive (v1+)
 	recPhase    = uint8(6) // one worker phase transition (v1+)
+	recFault    = uint8(7) // one injected/observed fault (v1+)
 )
+
+// Fault kinds carried by Fault records. 0-3 mirror the fabric's injected
+// fault kinds; the watchdog kinds record the GVT liveness machinery
+// reacting to losses.
+const (
+	FaultDrop             = uint8(iota) // packet lost on the wire
+	FaultDuplicate                      // packet delivered twice
+	FaultJitter                         // packet delayed beyond nominal
+	FaultWindowDrop                     // packet lost in a partition window
+	FaultWatchdogRestart                // GVT watchdog re-sent a lost token
+	FaultWatchdogFallback               // GVT watchdog forced a synchronous round
+	NumFaultKinds
+)
+
+// FaultName returns the human-readable fault kind name.
+func FaultName(k uint8) string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultJitter:
+		return "jitter"
+	case FaultWindowDrop:
+		return "window-drop"
+	case FaultWatchdogRestart:
+		return "watchdog-restart"
+	case FaultWatchdogFallback:
+		return "watchdog-fallback"
+	}
+	return fmt.Sprintf("fault(%d)", k)
+}
 
 // Worker phases carried by Phase records.
 const (
@@ -120,6 +153,17 @@ type Phase struct {
 	AtNanos int64
 }
 
+// Fault is one injected fabric fault or watchdog reaction. For wire
+// faults Src/Dst are node ids; for watchdog records Src is the master
+// node and Dst is unused.
+type Fault struct {
+	Kind     uint8
+	Src, Dst uint16
+	AtNanos  int64
+	// DelayNanos is the extra latency added (jitter/degradation kinds).
+	DelayNanos int64
+}
+
 // Writer streams v1 records to an io.Writer. The header is written on
 // the first record (or Flush), so an abandoned Writer leaves no bytes.
 type Writer struct {
@@ -133,6 +177,7 @@ type Writer struct {
 	MPISends  int64
 	MPIRecvs  int64
 	Phases    int64
+	Faults    int64
 }
 
 // NewWriter returns a Writer over w.
@@ -234,6 +279,19 @@ func (t *Writer) Phase(p Phase) {
 	binary.LittleEndian.PutUint64(b[6:], uint64(p.AtNanos))
 	t.put(b[:])
 	t.Phases++
+}
+
+// Fault appends a fault record.
+func (t *Writer) Fault(f Fault) {
+	var b [22]byte
+	b[0] = recFault
+	b[1] = f.Kind
+	binary.LittleEndian.PutUint16(b[2:], f.Src)
+	binary.LittleEndian.PutUint16(b[4:], f.Dst)
+	binary.LittleEndian.PutUint64(b[6:], uint64(f.AtNanos))
+	binary.LittleEndian.PutUint64(b[14:], uint64(f.DelayNanos))
+	t.put(b[:])
+	t.Faults++
 }
 
 // Flush drains buffered records and returns any accumulated write error.
@@ -414,6 +472,19 @@ func (t *Reader) Next() (any, error) {
 			Phase:   b[4],
 			AtNanos: int64(binary.LittleEndian.Uint64(b[5:])),
 		}, nil
+	case recFault:
+		var b [21]byte
+		if err := t.readFull(b[:], "fault"); err != nil {
+			t.err = err
+			return nil, err
+		}
+		return Fault{
+			Kind:       b[0],
+			Src:        binary.LittleEndian.Uint16(b[1:]),
+			Dst:        binary.LittleEndian.Uint16(b[3:]),
+			AtNanos:    int64(binary.LittleEndian.Uint64(b[5:])),
+			DelayNanos: int64(binary.LittleEndian.Uint64(b[13:])),
+		}, nil
 	default:
 		err := fmt.Errorf("trace: unknown record type %d at offset %d", kind, t.off-1)
 		t.err = err
@@ -430,6 +501,7 @@ type Visitor struct {
 	MPISend  func(MPISend)
 	MPIRecv  func(MPIRecv)
 	Phase    func(Phase)
+	Fault    func(Fault)
 }
 
 // ForEach decodes the whole stream, dispatching each record to the
@@ -469,6 +541,10 @@ func (t *Reader) ForEach(v Visitor) error {
 			if v.Phase != nil {
 				v.Phase(r)
 			}
+		case Fault:
+			if v.Fault != nil {
+				v.Fault(r)
+			}
 		}
 	}
 }
@@ -490,6 +566,8 @@ type Summary struct {
 	MPIRecvs         int64
 	PhaseRecords     int64
 	MaxRollbackDepth int64
+	Faults           int64
+	FaultsByKind     map[uint8]int64
 }
 
 // Summarize reads a whole stream into a Summary.
@@ -524,6 +602,13 @@ func Summarize(r io.Reader) (*Summary, error) {
 		},
 		MPIRecv: func(MPIRecv) { s.MPIRecvs++ },
 		Phase:   func(Phase) { s.PhaseRecords++ },
+		Fault: func(f Fault) {
+			s.Faults++
+			if s.FaultsByKind == nil {
+				s.FaultsByKind = make(map[uint8]int64)
+			}
+			s.FaultsByKind[f.Kind]++
+		},
 	})
 	if err != nil {
 		return nil, err

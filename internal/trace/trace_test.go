@@ -333,3 +333,54 @@ func TestEmptyStream(t *testing.T) {
 		t.Fatalf("header-only stream: want EOF, got %v", err)
 	}
 }
+
+func TestRoundTripFault(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	faults := []Fault{
+		{Kind: FaultDrop, Src: 1, Dst: 2, AtNanos: 1000},
+		{Kind: FaultJitter, Src: 2, Dst: 0, AtNanos: 2000, DelayNanos: 450},
+		{Kind: FaultWatchdogRestart, Src: 0, AtNanos: 3000},
+	}
+	for _, f := range faults {
+		w.Fault(f)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Faults != int64(len(faults)) {
+		t.Errorf("writer.Faults = %d, want %d", w.Faults, len(faults))
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for _, want := range faults {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != any(want) {
+			t.Errorf("got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+
+	s, err := Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults != 3 || s.FaultsByKind[FaultDrop] != 1 || s.FaultsByKind[FaultWatchdogRestart] != 1 {
+		t.Errorf("summary faults: %d %v", s.Faults, s.FaultsByKind)
+	}
+}
+
+func TestFaultName(t *testing.T) {
+	for k := uint8(0); k < NumFaultKinds; k++ {
+		if strings.Contains(FaultName(k), "fault(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if FaultName(200) != "fault(200)" {
+		t.Errorf("unknown kind: %q", FaultName(200))
+	}
+}
