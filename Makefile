@@ -17,9 +17,13 @@ verify:
 	$(GO) test -race ./...
 
 # bench runs the telemetry-overhead benchmark (fails if sampling or
-# tracing shifts the committed-event rate by >= 5%).
+# tracing shifts the committed-event rate by >= 5%), then regenerates
+# the machine-readable virtual-time baseline. BENCH_baseline.json is
+# deterministic — diff it against the checked-in copy to spot
+# performance regressions.
 bench:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 3x .
+	$(GO) run ./cmd/bench -out BENCH_baseline.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,176 @@
+// Command bench runs a fixed set of baseline simulation cells and emits
+// their metrics as one machine-readable JSON document. Every metric is
+// derived from *virtual* time (the simulator's deterministic clock), so
+// the output is bit-stable across machines and reruns: the checked-in
+// BENCH_baseline.json can be diffed against a fresh run to spot
+// performance regressions the same way a golden test spots functional
+// ones.
+//
+//	go run ./cmd/bench                 # writes BENCH_baseline.json
+//	go run ./cmd/bench -out -          # JSON to stdout
+//	make bench                         # telemetry-overhead gate + baseline
+//
+// The real-time figure benchmarks stay in bench_test.go (`go test
+// -bench`); this command is their deterministic companion.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/phold"
+	"repro/internal/trace"
+)
+
+// Schema identifies the baseline document layout.
+const Schema = "cagvt.bench-baseline/1"
+
+// cell is one baseline configuration and its measured results.
+type cell struct {
+	Name     string  `json:"name"`
+	Nodes    int     `json:"nodes"`
+	GVT      string  `json:"gvt"`
+	Comm     string  `json:"comm"`
+	Workload string  `json:"workload"`
+	Queue    string  `json:"queue,omitempty"`
+	Balance  string  `json:"balance,omitempty"`
+	Faults   string  `json:"faults,omitempty"`
+	EndTime  float64 `json:"end_time"`
+	Seed     uint64  `json:"seed"`
+
+	Committed      int64   `json:"committed"`
+	Processed      int64   `json:"processed"`
+	WallNanos      int64   `json:"wall_ns"`
+	Rate           float64 `json:"rate"`
+	Efficiency     float64 `json:"efficiency"`
+	GVTRounds      int64   `json:"gvt_rounds"`
+	MPIMessages    int64   `json:"mpi_messages"`
+	Migrations     int64   `json:"migrations,omitempty"`
+	CommitChecksum string  `json:"commit_checksum"`
+}
+
+// document is the whole baseline file.
+type document struct {
+	Schema string `json:"schema"`
+	Cells  []cell `json:"cells"`
+}
+
+// spec declares one cell's configuration before measurement.
+type spec struct {
+	name     string
+	nodes    int
+	gvt      core.GVTKind
+	comm     core.CommMode
+	workload string // "comp" | "comm"
+	queue    string
+	balance  string
+	faults   string
+	end      float64
+	metrics  bool // attach sampler + trace (telemetry-overhead cell)
+}
+
+const benchSeed = 1
+
+func specs() []spec {
+	return []spec{
+		{name: "mattern/comp", nodes: 4, gvt: core.GVTMattern, comm: core.CommDedicated, workload: "comp", end: 15},
+		{name: "barrier/comp", nodes: 4, gvt: core.GVTBarrier, comm: core.CommDedicated, workload: "comp", end: 15},
+		{name: "ca/comp", nodes: 4, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", end: 15},
+		{name: "mattern/comm", nodes: 4, gvt: core.GVTMattern, comm: core.CommDedicated, workload: "comm", end: 15},
+		{name: "ca/comm", nodes: 4, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comm", end: 15},
+		{name: "samadi/comm", nodes: 2, gvt: core.GVTSamadi, comm: core.CommDedicated, workload: "comm", end: 15},
+		{name: "queue-heap/comp", nodes: 2, gvt: core.GVTMattern, comm: core.CommDedicated, workload: "comp", queue: "heap", end: 15},
+		{name: "queue-calendar/comp", nodes: 2, gvt: core.GVTMattern, comm: core.CommDedicated, workload: "comp", queue: "calendar", end: 15},
+		{name: "telemetry/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", end: 15, metrics: true},
+		{name: "straggler-static/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", balance: "static", faults: "straggler", end: 60},
+		{name: "straggler-greedy/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", balance: "greedy", faults: "straggler", end: 60},
+	}
+}
+
+func run(s spec) (cell, error) {
+	top := cluster.Topology{Nodes: s.nodes, WorkersPerNode: 4, LPsPerWorker: 16}
+	base := phold.ComputationDominated()
+	if s.workload == "comm" {
+		base = phold.CommunicationDominated()
+	}
+	cfg := core.Config{
+		Topology:    top,
+		GVT:         s.gvt,
+		GVTInterval: 4,
+		Comm:        s.comm,
+		EndTime:     s.end,
+		Seed:        benchSeed,
+		QueueKind:   s.queue,
+		Balance:     s.balance,
+		Model:       phold.New(phold.Params{Topology: top, Base: base}),
+	}
+	if s.faults != "" {
+		plan, err := fabric.Scenario(s.faults, s.nodes)
+		if err != nil {
+			return cell{}, err
+		}
+		cfg.Faults = plan
+		cfg.FaultLabel = s.faults
+	}
+	if s.metrics {
+		cfg.Metrics = metrics.NewRecorder()
+		cfg.Trace = trace.NewWriter(io.Discard)
+	}
+	r, err := core.New(cfg).Run()
+	if err != nil {
+		return cell{}, err
+	}
+	return cell{
+		Name: s.name, Nodes: s.nodes, GVT: s.gvt.String(), Comm: s.comm.String(),
+		Workload: s.workload, Queue: s.queue, Balance: s.balance, Faults: s.faults,
+		EndTime: s.end, Seed: benchSeed,
+		Committed: r.Workers.Committed, Processed: r.Workers.Processed,
+		WallNanos: int64(r.WallTime), Rate: r.EventRate(), Efficiency: r.Efficiency(),
+		GVTRounds: r.GVTRounds, MPIMessages: r.MPIMessages, Migrations: r.Migrations,
+		CommitChecksum: metrics.Checksum(r.CommitChecksum),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "output file (- for stdout)")
+	flag.Parse()
+
+	doc := document{Schema: Schema}
+	for _, s := range specs() {
+		c, err := run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-24s rate=%.4g ev/s eff=%.1f%% wall=%dns\n",
+			c.Name, c.Rate, 100*c.Efficiency, c.WallNanos)
+		doc.Cells = append(doc.Cells, c)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "bench: wrote %d cells to %s\n", len(doc.Cells), *out)
+	}
+}

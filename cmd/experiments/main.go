@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/balance"
 	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -36,6 +37,7 @@ func main() {
 		nodes    = flag.String("nodes", "1,2,4,8", "node counts for weak-scaling sweeps")
 		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
 		faults   = flag.String("faults", "", "run every cell under a fault scenario: "+strings.Join(fabric.ScenarioNames(), " | ")+" (empty: fault-free)")
+		balPol   = flag.String("balance", "", "run every cell under an LP load-balancing policy: "+strings.Join(balance.Names(), " | ")+" (empty: static placement)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		mdPath   = flag.String("md", "", "also write results as markdown tables to this file")
 		jsonPath = flag.String("report", "", "also write tables + one telemetry run report per execution as JSON to this file")
@@ -53,12 +55,17 @@ func main() {
 		CAThreshold:    *thresh,
 		Verbose:        *verbose,
 		FaultScenario:  *faults,
+		BalancePolicy:  *balPol,
 	}
 	if *faults != "" {
 		if _, err := fabric.Scenario(*faults, 1); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	if _, err := balance.New(*balPol, balance.Options{}); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 	if *jsonPath != "" {
 		opt.Reports = metrics.NewReportSet()

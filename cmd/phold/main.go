@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/balance"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -42,9 +43,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master RNG seed")
 		queue    = flag.String("queue", "heap", "pending set: heap | calendar")
 		faults   = flag.String("faults", "", "fault scenario: "+strings.Join(fabric.ScenarioNames(), " | ")+" (empty: fault-free)")
+		balPol   = flag.String("balance", "", "LP load-balancing policy: "+strings.Join(balance.Names(), " | ")+" (empty: static placement)")
 		watchdog = flag.Int64("watchdog", 0, "GVT liveness watchdog timeout in virtual µs (0: auto, 2000 when -faults is set)")
 		seqCheck = flag.Bool("seq", false, "also run the sequential oracle and verify the commit stream")
-		traceTo  = flag.String("traceout", "", "write a binary v1 run trace (commits, rounds, rollbacks, MPI, phases) to this file")
+		traceTo  = flag.String("traceout", "", "write a binary v2 run trace (commits, rounds, rollbacks, MPI, phases, migrations) to this file")
 		reportTo = flag.String("report", "", "write the JSON run report (config, stats, sampled time series) to this file")
 		capN     = flag.Int("samplecap", 0, "max samples per telemetry series (0: default 512)")
 		every    = flag.Int("sampleevery", 0, "base telemetry sampling stride in GVT rounds (0: every round)")
@@ -116,6 +118,7 @@ func main() {
 		EndTime:     vtime.Time(*end),
 		Seed:        *seed,
 		QueueKind:   *queue,
+		Balance:     *balPol,
 		Model:       phold.New(params),
 	}
 	if *faults != "" {
@@ -160,6 +163,10 @@ func main() {
 	fmt.Printf("phold: %d nodes x %d workers x %d LPs, %v GVT, %v comm, %s scenario\n",
 		*nodes, *workers, *lps, kind, cm, *scenario)
 	fmt.Println(r)
+	if *balPol != "" && *balPol != "static" && *balPol != "none" {
+		fmt.Printf("balance: policy %q — %d LP migrations, %d pending events shipped\n",
+			*balPol, r.Migrations, r.MigratedEvents)
+	}
 	if *faults != "" {
 		fmt.Printf("faults: scenario %q — injected %d drops, %d dups, %d jitters, %d window drops\n",
 			*faults, r.FaultDrops, r.FaultDups, r.FaultJitters, r.FaultWindowDrops)

@@ -2,8 +2,9 @@
 // `phold -traceout` (or any engine run with a trace writer): GVT
 // progress, commit-rate timeline, per-LP activity spread, efficiency
 // timeline with CA-GVT switch points, rollback-cascade depth
-// distribution, per-node MPI bandwidth timeline and worker phase
-// breakdown.
+// distribution, per-node MPI bandwidth timeline, worker phase
+// breakdown, and — on multi-node traces — per-node load imbalance
+// (committed-event share, commit-frontier lag) with LP migrations.
 //
 //	go run ./cmd/phold -gvt ca -scenario mixed -traceout run.trace
 //	go run ./cmd/tracestat run.trace
@@ -24,7 +25,7 @@ import (
 )
 
 // Schema identifies the -json document layout.
-const Schema = "cagvt.tracestat/1"
+const Schema = "cagvt.tracestat/2"
 
 // timeBucket is one virtual-time slice of a timeline.
 type timeBucket struct {
@@ -107,6 +108,44 @@ type faultAnalysis struct {
 	LastNs  int64        `json:"last_ns"`
 }
 
+// nodeShare is one node's row of the imbalance analysis. Lag is the
+// node's commit-frontier lag: at each GVT round, the new GVT minus the
+// highest virtual timestamp the node has committed so far — how far the
+// node's committed horizon trails the cluster's. A straggling node shows
+// a persistently large lag; migrations shrink it.
+type nodeShare struct {
+	Node      int     `json:"node"`
+	Committed int64   `json:"committed"`
+	Share     float64 `json:"share"`
+	MeanLag   float64 `json:"mean_lag"`
+	MaxLag    float64 `json:"max_lag"`
+	LPsIn     int64   `json:"lps_in"`
+	LPsOut    int64   `json:"lps_out"`
+}
+
+// migrationPoint is one LP migration in commit order.
+type migrationPoint struct {
+	LP      uint32 `json:"lp"`
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Round   int64  `json:"round"`
+	Events  uint32 `json:"events"`
+	AtNanos int64  `json:"at_ns"`
+}
+
+// imbalanceAnalysis is the per-node load picture. Node placement is
+// replayed from the trace: LPs start on their block-contiguous home
+// nodes (inferred from the node and LP id ranges) and follow Migration
+// records, so committed-event attribution tracks the live placement.
+type imbalanceAnalysis struct {
+	Nodes          []nodeShare      `json:"nodes"`
+	MaxShare       float64          `json:"max_share"`
+	MinShare       float64          `json:"min_share"`
+	Migrations     int64            `json:"migrations"`
+	MigratedEvents int64            `json:"migrated_events"`
+	Moves          []migrationPoint `json:"moves,omitempty"`
+}
+
 // perLPSpread summarizes committed-event counts across LPs.
 type perLPSpread struct {
 	LPs  int     `json:"lps"`
@@ -119,18 +158,19 @@ type perLPSpread struct {
 
 // analysis is the whole -json document.
 type analysis struct {
-	Schema         string           `json:"schema"`
-	TraceVersion   int              `json:"trace_version"`
-	Commits        int64            `json:"commits"`
-	MaxT           float64          `json:"max_t"`
-	CommitTimeline []timeBucket     `json:"commit_timeline"`
-	PerLP          *perLPSpread     `json:"per_lp,omitempty"`
-	Rounds         []roundPoint     `json:"efficiency_timeline"`
-	SwitchPoints   []switchPoint    `json:"switch_points"`
-	Rollbacks      rollbackAnalysis `json:"rollbacks"`
-	MPI            []nodeBandwidth  `json:"mpi_bandwidth"`
-	Phases         []workerPhases   `json:"phase_breakdown"`
-	Faults         *faultAnalysis   `json:"faults,omitempty"`
+	Schema         string             `json:"schema"`
+	TraceVersion   int                `json:"trace_version"`
+	Commits        int64              `json:"commits"`
+	MaxT           float64            `json:"max_t"`
+	CommitTimeline []timeBucket       `json:"commit_timeline"`
+	PerLP          *perLPSpread       `json:"per_lp,omitempty"`
+	Rounds         []roundPoint       `json:"efficiency_timeline"`
+	SwitchPoints   []switchPoint      `json:"switch_points"`
+	Rollbacks      rollbackAnalysis   `json:"rollbacks"`
+	MPI            []nodeBandwidth    `json:"mpi_bandwidth"`
+	Phases         []workerPhases     `json:"phase_breakdown"`
+	Faults         *faultAnalysis     `json:"faults,omitempty"`
+	Imbalance      *imbalanceAnalysis `json:"imbalance,omitempty"`
 }
 
 // phaseState tracks one worker's open phase interval while scanning.
@@ -139,6 +179,20 @@ type phaseState struct {
 	since int64
 	agg   workerPhases
 }
+
+// imbMark remembers where a Round or Migration record sat in the record
+// stream relative to the Commit records (at = commits seen before it),
+// so the imbalance replay can interleave them in original order.
+type imbMark struct {
+	kind uint8 // markRound or markMigration
+	idx  int   // index into the rounds / migrations slice
+	at   int   // commit count when the record was read
+}
+
+const (
+	markRound = uint8(iota)
+	markMigration
+)
 
 func main() {
 	buckets := flag.Int("buckets", 20, "timeline resolution (virtual-time buckets)")
@@ -156,13 +210,15 @@ func main() {
 	defer f.Close()
 
 	var (
-		commits   []trace.Commit
-		rounds    []trace.Round
-		rollbacks []trace.Rollback
-		sends     []trace.MPISend
-		faults    []trace.Fault
-		phases    = map[uint32]*phaseState{}
-		maxAt     int64
+		commits    []trace.Commit
+		rounds     []trace.Round
+		rollbacks  []trace.Rollback
+		sends      []trace.MPISend
+		faults     []trace.Fault
+		migrations []trace.Migration
+		marks      []imbMark
+		phases     = map[uint32]*phaseState{}
+		maxAt      int64
 	)
 	r := trace.NewReader(f)
 	seeAt := func(at int64) {
@@ -172,7 +228,11 @@ func main() {
 	}
 	err = r.ForEach(trace.Visitor{
 		Commit: func(c trace.Commit) { commits = append(commits, c) },
-		Round:  func(rd trace.Round) { rounds = append(rounds, rd); seeAt(rd.AtNanos) },
+		Round: func(rd trace.Round) {
+			marks = append(marks, imbMark{kind: markRound, idx: len(rounds), at: len(commits)})
+			rounds = append(rounds, rd)
+			seeAt(rd.AtNanos)
+		},
 		Rollback: func(rb trace.Rollback) {
 			rollbacks = append(rollbacks, rb)
 			seeAt(rb.AtNanos)
@@ -180,6 +240,11 @@ func main() {
 		MPISend: func(m trace.MPISend) { sends = append(sends, m); seeAt(m.AtNanos) },
 		MPIRecv: func(m trace.MPIRecv) { seeAt(m.AtNanos) },
 		Fault:   func(ft trace.Fault) { faults = append(faults, ft); seeAt(ft.AtNanos) },
+		Migration: func(mg trace.Migration) {
+			marks = append(marks, imbMark{kind: markMigration, idx: len(migrations), at: len(commits)})
+			migrations = append(migrations, mg)
+			seeAt(mg.AtNanos)
+		},
 		Phase: func(p trace.Phase) {
 			st := phases[p.Worker]
 			if st == nil {
@@ -203,6 +268,7 @@ func main() {
 	version, _ := r.Version()
 
 	a := build(version, *buckets, commits, rounds, rollbacks, sends, faults, phases, maxAt)
+	a.Imbalance = buildImbalance(commits, rounds, migrations, marks, sends)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
@@ -423,6 +489,139 @@ func build(version, buckets int, commits []trace.Commit, rounds []trace.Round,
 	return a
 }
 
+// buildImbalance replays the trace's committed stream against the live
+// LP placement to produce the per-node load picture. The cluster shape
+// is inferred from the records themselves: node count from the highest
+// node id on MPI and migration records, LP count from the highest LP id,
+// and the engine's block-contiguous static placement fills in each LP's
+// home node. Migration records then re-home LPs mid-stream, in original
+// record order. Returns nil for single-node traces — there is no
+// between-node balance to analyze.
+func buildImbalance(commits []trace.Commit, rounds []trace.Round,
+	migrations []trace.Migration, marks []imbMark, sends []trace.MPISend) *imbalanceAnalysis {
+
+	maxNode := 0
+	for _, m := range sends {
+		if int(m.Src) > maxNode {
+			maxNode = int(m.Src)
+		}
+		if int(m.Dst) > maxNode {
+			maxNode = int(m.Dst)
+		}
+	}
+	for _, mg := range migrations {
+		if int(mg.SrcNode) > maxNode {
+			maxNode = int(mg.SrcNode)
+		}
+		if int(mg.DstNode) > maxNode {
+			maxNode = int(mg.DstNode)
+		}
+	}
+	nodes := maxNode + 1
+	if nodes < 2 || len(commits) == 0 {
+		return nil
+	}
+	maxLP := 0
+	for _, c := range commits {
+		if int(c.LP) > maxLP {
+			maxLP = int(c.LP)
+		}
+	}
+	for _, mg := range migrations {
+		if int(mg.LP) > maxLP {
+			maxLP = int(mg.LP)
+		}
+	}
+	lpsPerNode := (maxLP + nodes) / nodes // ceil((maxLP+1)/nodes)
+	home := func(lp uint32) int {
+		n := int(lp) / lpsPerNode
+		if n >= nodes {
+			n = nodes - 1
+		}
+		return n
+	}
+
+	var (
+		loc       = map[uint32]int{} // only LPs moved off their home node
+		committed = make([]int64, nodes)
+		frontier  = make([]float64, nodes)
+		lagSum    = make([]float64, nodes)
+		maxLag    = make([]float64, nodes)
+		lagRounds int64
+		in        = make([]int64, nodes)
+		out       = make([]int64, nodes)
+	)
+	attribute := func(c trace.Commit) {
+		n, moved := loc[c.LP]
+		if !moved {
+			n = home(c.LP)
+		}
+		committed[n]++
+		if c.T > frontier[n] {
+			frontier[n] = c.T
+		}
+	}
+	ci := 0
+	for _, mk := range marks {
+		for ; ci < mk.at; ci++ {
+			attribute(commits[ci])
+		}
+		switch mk.kind {
+		case markRound:
+			gvt := rounds[mk.idx].GVT
+			lagRounds++
+			for n := 0; n < nodes; n++ {
+				lag := gvt - frontier[n]
+				if lag < 0 {
+					lag = 0
+				}
+				lagSum[n] += lag
+				if lag > maxLag[n] {
+					maxLag[n] = lag
+				}
+			}
+		case markMigration:
+			mg := migrations[mk.idx]
+			loc[mg.LP] = int(mg.DstNode)
+			out[mg.SrcNode]++
+			in[mg.DstNode]++
+		}
+	}
+	for ; ci < len(commits); ci++ {
+		attribute(commits[ci])
+	}
+
+	a := &imbalanceAnalysis{Nodes: make([]nodeShare, 0, nodes), MinShare: 1}
+	total := int64(len(commits))
+	for n := 0; n < nodes; n++ {
+		s := nodeShare{
+			Node: n, Committed: committed[n],
+			Share:  float64(committed[n]) / float64(total),
+			MaxLag: maxLag[n],
+			LPsIn:  in[n], LPsOut: out[n],
+		}
+		if lagRounds > 0 {
+			s.MeanLag = lagSum[n] / float64(lagRounds)
+		}
+		if s.Share > a.MaxShare {
+			a.MaxShare = s.Share
+		}
+		if s.Share < a.MinShare {
+			a.MinShare = s.Share
+		}
+		a.Nodes = append(a.Nodes, s)
+	}
+	for _, mg := range migrations {
+		a.Migrations++
+		a.MigratedEvents += int64(mg.Events)
+		a.Moves = append(a.Moves, migrationPoint{
+			LP: mg.LP, Src: int(mg.SrcNode), Dst: int(mg.DstNode),
+			Round: mg.Round, Events: mg.Events, AtNanos: mg.AtNanos,
+		})
+	}
+	return a
+}
+
 // render prints the human-readable report.
 func render(a *analysis) {
 	fmt.Printf("trace: format v%d, %d committed events, %d GVT rounds, virtual time span [0, %.4g]\n",
@@ -515,6 +714,27 @@ func render(a *analysis) {
 						repeat('#', int(b.Bytes*40/peak)))
 				}
 			}
+		}
+	}
+
+	if a.Imbalance != nil {
+		im := a.Imbalance
+		fmt.Printf("\nper-node load imbalance (share spread %.1f%%..%.1f%%):\n",
+			100*im.MinShare, 100*im.MaxShare)
+		fmt.Println("  node  committed   share   mean-lag    max-lag  lps-in  lps-out")
+		for _, n := range im.Nodes {
+			fmt.Printf("  %4d  %9d  %5.1f%%  %9.4g  %9.4g  %6d  %7d\n",
+				n.Node, n.Committed, 100*n.Share, n.MeanLag, n.MaxLag, n.LPsIn, n.LPsOut)
+		}
+		if im.Migrations > 0 {
+			fmt.Printf("  migrations: %d LPs moved, %d pending events shipped\n",
+				im.Migrations, im.MigratedEvents)
+			for _, mv := range im.Moves {
+				fmt.Printf("    round %4d at %9.3fms: LP %4d node %d -> %d (%d events)\n",
+					mv.Round, float64(mv.AtNanos)/1e6, mv.LP, mv.Src, mv.Dst, mv.Events)
+			}
+		} else {
+			fmt.Println("  migrations: none")
 		}
 	}
 

@@ -113,6 +113,15 @@ type CostModel struct {
 	IdlePoll sim.Time
 	// BarrierEntry is the CPU cost of one pthread-barrier entry.
 	BarrierEntry sim.Time
+	// MigratePack is serializing one LP for migration (state snapshot +
+	// RNG stream + routing update) at a GVT commit point.
+	MigratePack sim.Time
+	// MigratePerEvent is packing or installing one pending event carried
+	// along with a migrating LP.
+	MigratePerEvent sim.Time
+	// MigrateInstall is deserializing and installing one migrated LP at
+	// its destination worker.
+	MigrateInstall sim.Time
 }
 
 // KNLDefaults returns the calibrated default cost model.
@@ -133,6 +142,9 @@ func KNLDefaults() CostModel {
 		EffCompute:       1500 * sim.Nanosecond,
 		IdlePoll:         150 * sim.Nanosecond,
 		BarrierEntry:     300 * sim.Nanosecond,
+		MigratePack:      2000 * sim.Nanosecond,
+		MigratePerEvent:  150 * sim.Nanosecond,
+		MigrateInstall:   2000 * sim.Nanosecond,
 	}
 }
 
@@ -165,5 +177,8 @@ func (c CostModel) Scaled(f float64) CostModel {
 	c.EffCompute = scale(c.EffCompute)
 	c.IdlePoll = scale(c.IdlePoll)
 	c.BarrierEntry = scale(c.BarrierEntry)
+	c.MigratePack = scale(c.MigratePack)
+	c.MigratePerEvent = scale(c.MigratePerEvent)
+	c.MigrateInstall = scale(c.MigrateInstall)
 	return c
 }

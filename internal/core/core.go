@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/balance"
 	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/fabric"
@@ -159,6 +160,17 @@ type Config struct {
 
 	Model ModelFactory
 
+	// Balance selects the dynamic load-balancing policy (see
+	// internal/balance): "" or "static" disables migration entirely (the
+	// engine takes the zero-overhead static path, byte-identical to a
+	// build without the balancer); "greedy" moves the hottest LPs off the
+	// most-behind node when the LVT-lag spread exceeds a threshold;
+	// "straggler" weights placement by the per-node cost model. Decisions
+	// are computed only from committed (post-GVT) state and executed at
+	// GVT commit points, so the committed event stream is identical to
+	// the sequential oracle under every policy.
+	Balance string
+
 	// Faults, when non-nil, installs a deterministic fault-injection plan
 	// on the fabric (packet drops, duplicates, delay jitter, periodic
 	// partition windows, straggler nodes) and layers the reliable
@@ -265,6 +277,9 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if _, err := balance.New(c.Balance, balance.Options{}); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -286,6 +301,20 @@ type Engine struct {
 	syncRounds  int64
 	disparity   stats.Disparity
 	roundTraces []RoundTrace
+
+	// Load balancing (see Config.Balance). routing is always present —
+	// the static fast path is arithmetic — but the rest only activates
+	// when a non-static policy is configured (migEnabled).
+	routing        *cluster.Routing
+	balancer       balance.Policy
+	migEnabled     bool
+	balanceFactors []float64                     // per-node cost factors for the policy
+	migrating      map[event.LPID]bool           // LPs with a planned or in-flight move
+	migLedger      map[event.LPID]stats.Checksum // checksums of in-flight LPs
+	migrations     int64
+	migratedEvents int64
+	prevCommitted  []int64 // per-node cumulative committed at last plan
+	prevRolled     []int64
 
 	// robustness machinery (see Config.Faults / WatchdogTimeout)
 	invariants  bool     // GVT ≤ min(observable) checked every round
@@ -335,6 +364,29 @@ func New(cfg Config) *Engine {
 	eng := &Engine{cfg: cfg, env: sim.NewEnv()}
 	eng.env.LivelockLimit = 500_000_000
 	eng.world = mpi.NewWorld(eng.env, cfg.Topology.Nodes, cfg.Net, cfg.MPICosts)
+	eng.routing = cluster.NewRouting(cfg.Topology)
+	if cfg.Balance != "" && cfg.Balance != "static" && cfg.Balance != "none" {
+		factors := make([]float64, cfg.Topology.Nodes)
+		for i := range factors {
+			factors[i] = 1
+			if cfg.Faults != nil {
+				if f, ok := cfg.Faults.Straggler[i]; ok && f > 0 {
+					factors[i] = f
+				}
+			}
+		}
+		pol, err := balance.New(cfg.Balance, balance.Options{CostFactors: factors})
+		if err != nil {
+			panic(err) // unreachable: Validate accepted the name
+		}
+		eng.balancer = pol
+		eng.migEnabled = true
+		eng.balanceFactors = factors
+		eng.migrating = make(map[event.LPID]bool)
+		eng.migLedger = make(map[event.LPID]stats.Checksum)
+		eng.prevCommitted = make([]int64, cfg.Topology.Nodes)
+		eng.prevRolled = make([]int64, cfg.Topology.Nodes)
+	}
 	eng.invariants = cfg.CheckInvariants || cfg.Faults != nil
 	eng.wdTimeout = cfg.WatchdogTimeout
 	if eng.wdTimeout == 0 && cfg.Faults != nil {
@@ -437,7 +489,16 @@ func (e *Engine) collect() *stats.Run {
 			}
 		}
 	}
+	// LPs packed but not yet installed when the run ended (in an outbox,
+	// on the wire, or in a migration mailbox): their committed history
+	// rides in the ledger (the per-LP checksum sum is order-independent,
+	// so map iteration order is immaterial).
+	for _, c := range e.migLedger {
+		sum += uint64(c)
+	}
 	r.CommitChecksum = sum
+	r.Migrations = e.migrations
+	r.MigratedEvents = e.migratedEvents
 	f := e.world.Fabric()
 	r.MPIMessages = f.MessagesSent
 	r.MPIBytes = f.BytesSent
@@ -511,6 +572,10 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 			Round: e.gvtRounds, GVT: gvt, At: e.env.Now(), Sync: sync, Efficiency: eff,
 		})
 	}
+	// Load-balance planning runs last, over exactly the committed-state
+	// snapshot the telemetry above recorded; workers execute the plan at
+	// their applyGVT for this (or the next) round.
+	e.planBalance(gvt)
 }
 
 // Report assembles the machine-readable run report from a completed
@@ -533,6 +598,9 @@ func (e *Engine) Report(r *stats.Run) *metrics.Report {
 		CheckpointInterval: cfg.CheckpointInterval,
 		MaxUncommitted:     cfg.MaxUncommitted,
 		Faults:             cfg.FaultLabel,
+	}
+	if e.balancer != nil {
+		rc.Balance = e.balancer.Name()
 	}
 	rs := metrics.RunStats{
 		WallNanos:      int64(r.WallTime),
@@ -569,6 +637,8 @@ func (e *Engine) Report(r *stats.Run) *metrics.Report {
 		FaultWindowDrops:   r.FaultWindowDrops,
 		WatchdogRestarts:   r.WatchdogRestarts,
 		WatchdogFallbacks:  r.WatchdogFallbacks,
+		Migrations:         r.Migrations,
+		MigratedEvents:     r.MigratedEvents,
 	}
 	return metrics.BuildReport(rc, rs, e.cfg.Metrics, cfg.Topology.WorkersPerNode)
 }

@@ -40,6 +40,11 @@ func (w *worker) barrierWorkerRound() {
 
 	for {
 		// ReadMessages(): keep receiving so in-transit counts can drain.
+		// Migration messages count like events, so they must be drainable
+		// inside the round too or the transit total could never hit zero.
+		if w.eng.migEnabled {
+			w.drainMigrations()
+		}
 		w.drainInbox()
 		n.msgCount[w.idx] = w.msgSent - w.msgRecv
 		p.Advance(cost.BarrierEntry)

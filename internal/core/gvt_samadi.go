@@ -109,15 +109,30 @@ func (s *unackedSet) size() int { return len(s.live) }
 // samadiEnabled reports whether the engine runs with acknowledgements.
 func (e *Engine) samadiEnabled() bool { return e.cfg.GVT == GVTSamadi }
 
+// ackWorkerShift positions the registering worker's global index in the
+// high bits of every ack id, so the receiver can route the ack back
+// without consulting LP placement.
+const ackWorkerShift = 40
+
 // registerUnacked assigns an ack id to an outgoing cross-worker message.
 func (w *worker) registerUnacked(ev *event.Event) {
-	ev.AckID = w.unacked.add(uint64(w.gidx)<<40, ev.Stamp.T)
+	ev.AckID = w.unacked.add(uint64(w.gidx)<<ackWorkerShift, ev.Stamp.T)
 }
 
 // sendAck routes an acknowledgement back to the transmitting worker.
+// The worker is recovered from the ack id itself (registerUnacked folds
+// the registering worker's global index into the high bits): the sender
+// LP's static home is wrong once the balancer has moved LPs, and the
+// unacked entry lives with the worker that sent, not with the LP.
 func (w *worker) sendAck(ev *event.Event) {
-	src := w.eng.cfg.Topology.GlobalWorkerOf(ev.Src)
-	a := ack{id: ev.AckID, dstWorker: src}
+	w.sendAckTo(ev.AckID)
+}
+
+// sendAckTo delivers an acknowledgement for id to the worker that
+// registered it.
+func (w *worker) sendAckTo(id uint64) {
+	src := int(id >> ackWorkerShift)
+	a := ack{id: id, dstWorker: src}
 	srcNode := src / w.eng.cfg.Topology.WorkersPerNode
 	w.proc.Advance(w.node.cost.QueueOp)
 	if srcNode == w.node.id {

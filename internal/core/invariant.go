@@ -50,6 +50,12 @@ func (e *Engine) minObservable() (float64, string) {
 			for _, ev := range w.inbox {
 				consider(ev.Stamp.T, "worker inbox")
 			}
+			for _, ev := range w.limbo {
+				consider(ev.Stamp.T, "worker limbo (awaiting LP install)")
+			}
+			for _, m := range w.migIn {
+				consider(m.minPayloadStamp(), "migration mailbox payload")
+			}
 			for _, l := range w.lps {
 				for _, a := range l.pendingAnti {
 					consider(a.Stamp.T, "stashed anti-message")
@@ -59,23 +65,33 @@ func (e *Engine) minObservable() (float64, string) {
 		for _, ev := range n.outbox {
 			consider(ev.Stamp.T, "node outbox")
 		}
+		for _, m := range n.outMigs {
+			consider(m.minPayloadStamp(), "node migration outbox payload")
+		}
 	}
 	// Messages inside the transport: out-of-order reassembly buffers and
 	// unacked frames that may be retransmitted.
 	e.world.ForEachBuffered(func(payload any) {
-		if ev, ok := payload.(*event.Event); ok {
-			consider(ev.Stamp.T, "transport buffer")
+		switch v := payload.(type) {
+		case *event.Event:
+			consider(v.Stamp.T, "transport buffer")
+		case *migMsg:
+			consider(v.minPayloadStamp(), "transport buffer (migration)")
 		}
 	})
 	// Packets on the wire. Frames the receiver will discard (acks, fabric
 	// duplicates of already-accepted frames) cannot re-enter the simulation
 	// and must not pin the minimum.
 	e.world.Fabric().ForEachInFlight(func(pkt fabric.Packet) {
-		ev, ok := pkt.Payload.(*event.Event)
-		if !ok || !e.world.PacketWillDeliver(pkt) {
+		if !e.world.PacketWillDeliver(pkt) {
 			return
 		}
-		consider(ev.Stamp.T, "in-flight MPI packet")
+		switch v := pkt.Payload.(type) {
+		case *event.Event:
+			consider(v.Stamp.T, "in-flight MPI packet")
+		case *migMsg:
+			consider(v.minPayloadStamp(), "in-flight migration packet")
+		}
 	})
 	return min, where
 }

@@ -52,6 +52,12 @@ type lp struct {
 
 	// checksum chains committed events in commit (stamp) order.
 	checksum stats.Checksum
+
+	// committed counts this LP's committed events; commitMark is the
+	// count at the balancer's last look, so committed-commitMark is the
+	// LP's "heat" since then. Both travel with the LP on migration.
+	committed  int64
+	commitMark int64
 }
 
 func newLP(id event.LPID, model Model, stream *rng.Stream) *lp {

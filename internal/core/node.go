@@ -13,9 +13,10 @@ import (
 
 // MPI tags used by the engine.
 const (
-	tagEvents = mpi.TagUser + iota // remote event messages
-	tagToken                       // Mattern/CA-GVT ring control message
-	tagAcks                        // Samadi GVT acknowledgements
+	tagEvents  = mpi.TagUser + iota // remote event messages
+	tagToken                        // Mattern/CA-GVT ring control message
+	tagAcks                         // Samadi GVT acknowledgements
+	tagMigrate                      // LP migration messages (load balancing)
 )
 
 // node models one cluster node: its worker threads, the shared outbound
@@ -38,6 +39,7 @@ type node struct {
 	outMu   sim.Mutex
 	outbox  []*event.Event
 	outAcks []remoteAck
+	outMigs []*migMsg // outbound LP migrations (balancer runs only)
 
 	// Barrier-GVT shared state (Algorithm 1). Slots are per worker.
 	gvtBar   *sim.Barrier // two-phase node barrier: enter
@@ -152,8 +154,18 @@ func (n *node) pump(p *sim.Proc) bool {
 		n.outbox = nil
 	}
 	n.outMu.Unlock(p)
+	wpn := n.eng.cfg.Topology.WorkersPerNode
 	for _, ev := range out {
-		dst := n.eng.cfg.Topology.NodeOf(ev.Dst)
+		dst := n.eng.routing.Node(ev.Dst)
+		if dst == n.id {
+			// The destination LP migrated onto this node while the event
+			// sat in the outbox: short-circuit to the local mailbox (the
+			// send/recv counters stay symmetric — the sender counted a
+			// remote send, the drain will count the receive).
+			n.workers[n.eng.routing.Worker(ev.Dst)%wpn].deposit(p, ev)
+			worked = true
+			continue
+		}
 		n.rank.Send(p, dst, tagEvents, ev.WireSize(), ev)
 		if tr != nil {
 			tr.MPISend(trace.MPISend{
@@ -162,6 +174,23 @@ func (n *node) pump(p *sim.Proc) bool {
 			})
 		}
 		worked = true
+	}
+	// Outbound LP migrations (balancer runs only).
+	if n.eng.migEnabled && len(n.outMigs) > 0 {
+		n.outMu.Lock(p)
+		migs := n.outMigs
+		n.outMigs = nil
+		n.outMu.Unlock(p)
+		for _, m := range migs {
+			n.rank.Send(p, m.dstNode, tagMigrate, m.wireSize(), m)
+			if tr != nil {
+				tr.MPISend(trace.MPISend{
+					Src: uint16(n.id), Dst: uint16(m.dstNode), Bytes: uint32(m.wireSize()),
+					AtNanos: int64(p.Now()),
+				})
+			}
+			worked = true
+		}
 	}
 	// Outbound acknowledgements (Samadi GVT only).
 	n.outMu.Lock(p)
@@ -190,7 +219,22 @@ func (n *node) pump(p *sim.Proc) bool {
 			break
 		}
 		ev := m.Payload.(*event.Event)
-		_, wi := n.eng.cfg.Topology.WorkerOf(ev.Dst)
+		if rn := n.eng.routing.Node(ev.Dst); rn != n.id {
+			// The destination LP migrated away while this event was in
+			// flight: forward it toward the current owner. The hop is
+			// transparent to GVT accounting — no worker counts a receive
+			// here, so the message stays "in transit" end to end.
+			if tr != nil {
+				tr.MPIRecv(trace.MPIRecv{
+					Src: uint16(m.Src), Dst: uint16(n.id), Bytes: uint32(m.Size),
+					AtNanos: int64(p.Now()),
+				})
+			}
+			n.enqueueRemote(p, ev)
+			worked = true
+			continue
+		}
+		wi := n.eng.routing.Worker(ev.Dst) % n.eng.cfg.Topology.WorkersPerNode
 		n.workers[wi].deposit(p, ev)
 		if tr != nil {
 			tr.MPIRecv(trace.MPIRecv{
@@ -199,6 +243,24 @@ func (n *node) pump(p *sim.Proc) bool {
 			})
 		}
 		worked = true
+	}
+	// Inbound LP migrations.
+	if n.eng.migEnabled {
+		for i := 0; i < pumpBudget; i++ {
+			m, ok := n.rank.TryRecv(p, tagMigrate)
+			if !ok {
+				break
+			}
+			mg := m.Payload.(*migMsg)
+			n.workers[mg.dstWorker].depositMig(p, mg)
+			if tr != nil {
+				tr.MPIRecv(trace.MPIRecv{
+					Src: uint16(m.Src), Dst: uint16(n.id), Bytes: uint32(m.Size),
+					AtNanos: int64(p.Now()),
+				})
+			}
+			worked = true
+		}
 	}
 	// Inbound acknowledgements.
 	for i := 0; i < pumpBudget; i++ {

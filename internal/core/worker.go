@@ -22,12 +22,22 @@ type worker struct {
 	proc *sim.Proc
 
 	lps     []*lp
+	byID    map[event.LPID]*lp // lookup only; lps keeps the deterministic order
 	firstLP event.LPID
 	pending eventq.Queue
 
 	// mailbox: regional senders and the comm thread deposit here.
 	inMu  sim.Mutex
 	inbox []*event.Event
+
+	// Migration state (engine.migEnabled only). migOut holds orders the
+	// planner parked for the next applyGVT; migIn is the mailbox arrived
+	// migrations wait in; limbo parks events that arrived ahead of their
+	// migrating LP (in arrival order) until it is installed.
+	migOut []migOrder
+	migMu  sim.Mutex
+	migIn  []*migMsg
+	limbo  []*event.Event
 
 	// cumulative message counters for Algorithm 1 (all cross-worker
 	// messages, anti-messages included).
@@ -86,31 +96,44 @@ func newWorker(eng *Engine, n *node, idx int, streams *rng.Sequence) *worker {
 	w.inMu.HoldCost = n.cost.RegionalLockHold
 	w.ackMu.Name = fmt.Sprintf("acks-%d/%d", n.id, idx)
 	w.ackMu.HoldCost = n.cost.RegionalLockHold
+	w.migMu.Name = fmt.Sprintf("migs-%d/%d", n.id, idx)
+	w.migMu.HoldCost = n.cost.RegionalLockHold
 	w.unacked.init()
 	w.firstLP = eng.cfg.Topology.FirstLP(n.id, idx)
+	w.byID = make(map[event.LPID]*lp, eng.cfg.Topology.LPsPerWorker)
 	for i := 0; i < eng.cfg.Topology.LPsPerWorker; i++ {
 		id := w.firstLP + event.LPID(i)
-		w.lps = append(w.lps, newLP(id, eng.cfg.Model(id, eng.cfg.Topology.TotalLPs()), streams.Next()))
+		l := newLP(id, eng.cfg.Model(id, eng.cfg.Topology.TotalLPs()), streams.Next())
+		w.lps = append(w.lps, l)
+		w.byID[id] = l
 	}
 	return w
 }
 
 func (w *worker) lpByID(id event.LPID) *lp {
-	i := int(id - w.firstLP)
-	if i < 0 || i >= len(w.lps) {
-		panic(fmt.Sprintf("core: LP %d routed to worker %d/%d owning [%d,%d)",
-			id, w.node.id, w.idx, w.firstLP, int(w.firstLP)+len(w.lps)))
+	l := w.byID[id]
+	if l == nil {
+		panic(fmt.Sprintf("core: LP %d routed to worker %d/%d which does not host it",
+			id, w.node.id, w.idx))
 	}
-	return w.lps[i]
+	return l
 }
 
 // localMin returns the minimum unprocessed timestamp at this worker
 // (the GVT "LVT" contribution: the next event this worker could process).
+// Limbo events count: they were receive-counted at drain but sit outside
+// the pending set until their migrating LP installs.
 func (w *worker) localMin() float64 {
+	min := vtime.Inf
 	if e := w.pending.Peek(); e != nil {
-		return e.Stamp.T
+		min = e.Stamp.T
 	}
-	return vtime.Inf
+	for _, ev := range w.limbo {
+		if ev.Stamp.T < min {
+			min = ev.Stamp.T
+		}
+	}
+	return min
 }
 
 // localMinView is the metrics-only view used for the disparity statistic.
@@ -125,7 +148,13 @@ func (w *worker) run(p *sim.Proc) {
 	commRole := w.commRole()
 	samadi := w.eng.samadiEnabled()
 	for w.gvtView <= cfg.EndTime {
-		worked := w.drainInbox()
+		worked := false
+		if w.eng.migEnabled && w.drainMigrations() {
+			worked = true
+		}
+		if w.drainInbox() {
+			worked = true
+		}
 		if samadi && w.drainAcks() {
 			worked = true
 		}
@@ -244,6 +273,19 @@ func (w *worker) deliver(ev *event.Event) {
 		panic(fmt.Sprintf("core: GVT violation: %v arrived at worker %d/%d with GVT %.6g",
 			ev, w.node.id, w.idx, w.gvtView))
 	}
+	if w.eng.migEnabled && w.byID[ev.Dst] == nil {
+		if w.eng.routing.Worker(ev.Dst) == w.gidx {
+			// The LP is migrating here but has not installed yet: park the
+			// event until it does (localMin keeps it observable for GVT).
+			w.limbo = append(w.limbo, ev)
+			return
+		}
+		// Stale arrival: the LP moved away while this message was in
+		// flight. Forward it as a fresh send toward the current owner
+		// (this drain was receive-counted; route re-counts the send side).
+		w.route(ev)
+		return
+	}
 	l := w.lpByID(ev.Dst)
 	if ev.Anti {
 		if pos := w.pending.RemoveMatching(ev); pos != nil {
@@ -343,7 +385,10 @@ func (w *worker) processOne(ev *event.Event) {
 func (w *worker) route(ev *event.Event) {
 	cfg := &w.eng.cfg
 	top := cfg.Topology
-	class := top.Class(ev.Src, ev.Dst)
+	// Locality is judged from where the message is (this worker) to where
+	// the destination LP currently lives — identical to the static
+	// Topology.Class until the balancer moves an LP.
+	class := w.eng.routing.ClassFrom(w.gidx, ev.Dst)
 	// Color the message with the sender's current epoch (mod 4).
 	ev.Color = event.Color(w.epoch & 3)
 	switch class {
@@ -373,7 +418,7 @@ func (w *worker) route(ev *event.Event) {
 		w.minRed = ev.Stamp.T
 	}
 	if class == event.Regional {
-		_, wi := top.WorkerOf(ev.Dst)
+		wi := w.eng.routing.Worker(ev.Dst) % top.WorkersPerNode
 		w.node.workers[wi].deposit(w.proc, ev)
 	} else {
 		w.node.enqueueRemote(w.proc, ev)
@@ -476,6 +521,7 @@ func (w *worker) applyGVT(g float64) {
 					})
 				}
 				entry.committed = true
+				l.committed++
 				w.st.Committed++
 				w.uncommitted--
 			}
@@ -518,6 +564,11 @@ func (w *worker) applyGVT(g float64) {
 	w.gvtView = g
 	w.st.GVTRounds++
 	w.idleRounds++ // reset on the next productive pass
+	// Execute planned migrations now: below-g history is committed and
+	// fossil-collected, so pack ships pure committed state.
+	if len(w.migOut) > 0 {
+		w.executeMigrations(g)
+	}
 }
 
 // gvtPoll advances the worker's side of the configured GVT algorithm by

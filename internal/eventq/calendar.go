@@ -162,6 +162,30 @@ func (c *Calendar) RemoveMatching(anti *event.Event) *event.Event {
 	return nil
 }
 
+// RemoveFor removes every event destined to lp, returned in stamp order.
+// Unlike RemoveMatching this must scan the whole calendar: a migrating
+// LP's pending events are spread across many buckets.
+func (c *Calendar) RemoveFor(lp event.LPID) []*event.Event {
+	var taken []*event.Event
+	for i, b := range c.buckets {
+		keep := b[:0]
+		for _, e := range b {
+			if e.Dst == lp {
+				taken = append(taken, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		for p := len(keep); p < len(b); p++ {
+			b[p] = nil
+		}
+		c.buckets[i] = keep
+	}
+	c.n -= len(taken)
+	sortByStamp(taken)
+	return taken
+}
+
 // resize rebuilds the calendar with nbuckets buckets and a day width set
 // from a sample of inter-event gaps.
 func (c *Calendar) resize(nbuckets int) {

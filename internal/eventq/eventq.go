@@ -7,6 +7,8 @@
 package eventq
 
 import (
+	"sort"
+
 	"repro/internal/event"
 	"repro/internal/vtime"
 )
@@ -25,6 +27,10 @@ type Queue interface {
 	// and returns it, or nil if no match is queued. Used for anti-message
 	// annihilation against unprocessed positives (and vice versa).
 	RemoveMatching(anti *event.Event) *event.Event
+	// RemoveFor removes every event destined to lp and returns them in
+	// stamp order. Used when an LP migrates: its pending events travel
+	// with it.
+	RemoveFor(lp event.LPID) []*event.Event
 }
 
 // New returns a queue of the named kind ("heap" or "calendar").
@@ -134,6 +140,37 @@ func (h *Heap) RemoveMatching(anti *event.Event) *event.Event {
 		}
 	}
 	return nil
+}
+
+// RemoveFor removes every event destined to lp, returned in stamp order.
+func (h *Heap) RemoveFor(lp event.LPID) []*event.Event {
+	var taken []*event.Event
+	keep := h.ev[:0]
+	for _, e := range h.ev {
+		if e.Dst == lp {
+			taken = append(taken, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	if len(taken) == 0 {
+		return nil
+	}
+	for i := len(keep); i < len(h.ev); i++ {
+		h.ev[i] = nil
+	}
+	h.ev = keep
+	// Re-heapify the survivors bottom-up.
+	for i := len(h.ev)/2 - 1; i >= 0; i-- {
+		h.fixDown(i)
+	}
+	sortByStamp(taken)
+	return taken
+}
+
+// sortByStamp orders events by the total stamp order.
+func sortByStamp(evs []*event.Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Stamp.Before(evs[j].Stamp) })
 }
 
 // MinStamp returns the stamp of the minimum event, or vtime.InfStamp if

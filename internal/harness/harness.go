@@ -43,6 +43,11 @@ type Options struct {
 	// transport and GVT liveness watchdog active.
 	FaultScenario string
 
+	// BalancePolicy, when non-empty, runs every cell under the named LP
+	// load-balancing policy (see balance.Names) unless the experiment
+	// pins its own per-series policy.
+	BalancePolicy string
+
 	// Reports, when non-nil, collects one telemetry run report per engine
 	// execution (with per-round time series sampled at SampleCap points).
 	Reports *metrics.ReportSet
@@ -74,7 +79,8 @@ type Cell struct {
 	Disparity   float64 `json:"disparity"`
 	SyncRounds  int64   `json:"sync_rounds"`
 	GVTRounds   int64   `json:"gvt_rounds"`
-	BarrierWait float64 `json:"barrier_wait_s"` // virtual seconds summed over workers
+	BarrierWait float64 `json:"barrier_wait_s"`       // virtual seconds summed over workers
+	Migrations  int64   `json:"migrations,omitempty"` // LPs moved by the balancer
 	Failed      bool    `json:"failed,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
@@ -90,6 +96,7 @@ func cellOf(r *stats.Run) Cell {
 		SyncRounds:  r.SyncRounds,
 		GVTRounds:   r.GVTRounds,
 		BarrierWait: r.Workers.BarrierWait.Seconds(),
+		Migrations:  r.Migrations,
 	}
 }
 
@@ -137,7 +144,8 @@ type runSpec struct {
 	epgOverride int     // >0: override the phase EPG (EPG sweep)
 	caThreshold float64 // >0: override CA threshold
 	queueKind   string
-	checkpoint  int // >0: state-saving interval override
+	checkpoint  int    // >0: state-saving interval override
+	balance     string // non-empty: LP load-balancing policy override
 }
 
 // model builds the PHOLD parameters for a spec.
@@ -205,6 +213,10 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 	if s.caThreshold > 0 {
 		threshold = s.caThreshold
 	}
+	balance := opt.BalancePolicy
+	if s.balance != "" {
+		balance = s.balance
+	}
 	cfg := core.Config{
 		Topology:           top,
 		GVT:                s.gvt,
@@ -215,6 +227,7 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 		Seed:               opt.Seed,
 		QueueKind:          s.queueKind,
 		CheckpointInterval: s.checkpoint,
+		Balance:            balance,
 		Model:              s.model(opt, top),
 	}
 	if opt.FaultScenario != "" {
@@ -287,6 +300,7 @@ func Registry() []Experiment {
 		{ID: "queue", Title: "Ablation: pending-set implementation", Run: ablQueue},
 		{ID: "checkpoint", Title: "Ablation: state-saving interval", Run: ablCheckpoint},
 		{ID: "samadi", Title: "Ablation: Samadi ack-based GVT vs the paper's algorithms", Run: ablSamadi},
+		{ID: "rebalance", Title: "Dynamic load balancing under a straggler node", Run: ablRebalance},
 	}
 }
 
@@ -665,6 +679,27 @@ func ablSamadi(opt Options, w io.Writer) Table {
 			runSpec{nodes: n, gvt: c.gvt, comm: core.CommDedicated, workload: WorkloadComm, interval: 4}.execute(opt, w),
 		}
 		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
+	}
+	return t
+}
+
+func ablRebalance(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "rebalance",
+		Title:  "LP migration policies under a 4x straggler node, computation-dominated",
+		Paper:  "Engine extension (not in the paper): telemetry-driven LP migration at GVT commit points. With one node's cores 4x slower, migrating hot LPs off it shrinks virtual time-to-completion; the committed stream is oracle-identical under every policy.",
+		XLabel: "nodes", XVals: nodeLabels(opt),
+	}
+	o := opt
+	o.FaultScenario = "straggler"
+	for _, pol := range []string{"static", "greedy", "straggler"} {
+		t.Series = append(t.Series, Series{
+			Label: pol,
+			Cells: sweep(o, w, runSpec{
+				gvt: core.GVTControlled, comm: core.CommDedicated,
+				workload: WorkloadComp, interval: 4, balance: pol,
+			}),
+		})
 	}
 	return t
 }

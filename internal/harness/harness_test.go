@@ -25,7 +25,7 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 	want := []string{
 		"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"efficiency", "disparity", "interval", "threshold", "epg", "shared", "queue",
-		"checkpoint", "samadi",
+		"checkpoint", "samadi", "rebalance",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -212,5 +212,55 @@ func TestDefaultOptionsSane(t *testing.T) {
 	if opt.WorkersPerNode <= 0 || opt.LPsPerWorker <= 0 || opt.EndTime <= 0 ||
 		len(opt.NodeCounts) == 0 || opt.CAThreshold <= 0 {
 		t.Errorf("DefaultOptions insane: %+v", opt)
+	}
+}
+
+func TestRebalanceExperiment(t *testing.T) {
+	// The rebalance table runs every policy under the straggler scenario.
+	// Structure: one series per policy, a cell per node count; on the
+	// multi-node cells the migrating policies must actually move LPs and
+	// the static series never does.
+	opt := miniOptions()
+	opt.NodeCounts = []int{2}
+	opt.EndTime = 60
+	tab := ablRebalance(opt, nil)
+	if len(tab.Series) != 3 {
+		t.Fatalf("rebalance has %d series, want 3", len(tab.Series))
+	}
+	labels := []string{"static", "greedy", "straggler"}
+	for i, s := range tab.Series {
+		if s.Label != labels[i] {
+			t.Errorf("series %d = %s, want %s", i, s.Label, labels[i])
+		}
+		if len(s.Cells) != 1 || s.Cells[0].Failed {
+			t.Fatalf("series %s cells: %+v", s.Label, s.Cells)
+		}
+		c := s.Cells[0]
+		if s.Label == "static" && c.Migrations != 0 {
+			t.Errorf("static series migrated %d LPs", c.Migrations)
+		}
+		if s.Label != "static" && c.Migrations == 0 {
+			t.Errorf("%s series never migrated", s.Label)
+		}
+		if c.Committed != tab.Series[0].Cells[0].Committed {
+			t.Errorf("%s committed %d events, static committed %d — stream diverged",
+				s.Label, c.Committed, tab.Series[0].Cells[0].Committed)
+		}
+	}
+}
+
+func TestBalancePolicyOption(t *testing.T) {
+	// Options.BalancePolicy applies to cells that do not pin their own
+	// policy; an unknown name must fail the cell, not panic the sweep.
+	opt := miniOptions()
+	opt.BalancePolicy = "greedy"
+	c := runSpec{nodes: 2, gvt: core.GVTControlled, workload: WorkloadComp, interval: 10}.execute(opt, nil)
+	if c.Failed {
+		t.Fatalf("greedy run failed: %s", c.Error)
+	}
+	opt.BalancePolicy = "bogus"
+	c = runSpec{nodes: 2, gvt: core.GVTControlled, workload: WorkloadComp, interval: 10}.execute(opt, nil)
+	if !c.Failed || !strings.Contains(c.Error, "bogus") {
+		t.Fatalf("bogus policy cell = %+v, want failure naming the policy", c)
 	}
 }

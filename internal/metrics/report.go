@@ -32,6 +32,9 @@ type RunConfig struct {
 	// perfect fabric; omitted from the JSON so fault-free reports are
 	// byte-identical to pre-fault-injection ones).
 	Faults string `json:"faults,omitempty"`
+	// Balance names the LP load-balancing policy ("" for the static
+	// no-balancer path; omitted so static reports keep their byte layout).
+	Balance string `json:"balance,omitempty"`
 }
 
 // RunStats is the final-aggregate block of a run report (the same
@@ -74,6 +77,11 @@ type RunStats struct {
 	FaultWindowDrops   int64 `json:"fault_window_drops,omitempty"`
 	WatchdogRestarts   int64 `json:"watchdog_restarts,omitempty"`
 	WatchdogFallbacks  int64 `json:"watchdog_fallbacks,omitempty"`
+
+	// Load-balancer counters (see stats.Run); omitted when zero so
+	// static-policy reports keep their pre-balancer byte layout.
+	Migrations     int64 `json:"migrations,omitempty"`
+	MigratedEvents int64 `json:"migrated_events,omitempty"`
 }
 
 // WorkerSeries is one worker's sampled time series. Samples are in

@@ -128,6 +128,12 @@ type Run struct {
 	FaultWindowDrops   int64 // packets lost in partition/degradation windows
 	WatchdogRestarts   int64 // GVT tokens resent by the liveness watchdog
 	WatchdogFallbacks  int64 // rounds forced synchronous by the watchdog
+
+	// Load-balancer counters, zero unless a migrating balance policy is
+	// active. Excluded from String() so static-policy summaries are
+	// byte-identical to pre-balancer output.
+	Migrations     int64 // LPs moved between nodes at GVT commit points
+	MigratedEvents int64 // pending events shipped along with the moves
 }
 
 // Efficiency returns committed / processed (the paper's committed over

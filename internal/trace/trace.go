@@ -6,9 +6,10 @@
 // little-endian uint16 format version) followed by self-describing
 // records: committed events, GVT rounds, rollback episodes, MPI
 // sends/receives of the event/ack data plane, and worker phase
-// transitions. The Reader also accepts headerless v0 streams (commit and
-// round records only) written by earlier versions of this repo, and
-// rejects unknown versions instead of decoding garbage.
+// transitions. Format v2 adds LP-migration records emitted by the load
+// balancer. The Reader also accepts v1 streams and headerless v0 streams
+// (commit and round records only) written by earlier versions of this
+// repo, and rejects unknown versions instead of decoding garbage.
 package trace
 
 import (
@@ -23,7 +24,7 @@ import (
 var magic = [4]byte{0xCA, 'G', 'V', 'T'}
 
 // Version is the format version this package writes.
-const Version = 1
+const Version = 2
 
 const headerLen = 6
 
@@ -36,6 +37,8 @@ const (
 	recMPIRecv  = uint8(5) // one MPI data-plane receive (v1+)
 	recPhase    = uint8(6) // one worker phase transition (v1+)
 	recFault    = uint8(7) // one injected/observed fault (v1+)
+
+	recMigration = uint8(8) // one LP migration between nodes (v2+)
 )
 
 // Fault kinds carried by Fault records. 0-3 mirror the fabric's injected
@@ -164,20 +167,37 @@ type Fault struct {
 	DelayNanos int64
 }
 
-// Writer streams v1 records to an io.Writer. The header is written on
-// the first record (or Flush), so an abandoned Writer leaves no bytes.
+// Migration is one LP moved between nodes by the load balancer at a GVT
+// commit point. Events counts the pending (uncommitted-future) events
+// shipped along with the LP's state.
+type Migration struct {
+	LP      uint32
+	SrcNode uint16
+	DstNode uint16
+	Round   int64 // GVT round whose commit point triggered the move
+	Events  uint32
+	AtNanos int64
+}
+
+// migrationWire is the record body size (after the type byte).
+const migrationWire = 28
+
+// Writer streams current-version records to an io.Writer. The header is
+// written on the first record (or Flush), so an abandoned Writer leaves
+// no bytes.
 type Writer struct {
 	w        *bufio.Writer
 	err      error
 	prefaced bool
 	// Counts of written records, for quick sanity checks.
-	Commits   int64
-	Rounds    int64
-	Rollbacks int64
-	MPISends  int64
-	MPIRecvs  int64
-	Phases    int64
-	Faults    int64
+	Commits    int64
+	Rounds     int64
+	Rollbacks  int64
+	MPISends   int64
+	MPIRecvs   int64
+	Phases     int64
+	Faults     int64
+	Migrations int64
 }
 
 // NewWriter returns a Writer over w.
@@ -292,6 +312,20 @@ func (t *Writer) Fault(f Fault) {
 	binary.LittleEndian.PutUint64(b[14:], uint64(f.DelayNanos))
 	t.put(b[:])
 	t.Faults++
+}
+
+// Migration appends an LP-migration record.
+func (t *Writer) Migration(m Migration) {
+	var b [1 + migrationWire]byte
+	b[0] = recMigration
+	binary.LittleEndian.PutUint32(b[1:], m.LP)
+	binary.LittleEndian.PutUint16(b[5:], m.SrcNode)
+	binary.LittleEndian.PutUint16(b[7:], m.DstNode)
+	binary.LittleEndian.PutUint64(b[9:], uint64(m.Round))
+	binary.LittleEndian.PutUint32(b[17:], m.Events)
+	binary.LittleEndian.PutUint64(b[21:], uint64(m.AtNanos))
+	t.put(b[:])
+	t.Migrations++
 }
 
 // Flush drains buffered records and returns any accumulated write error.
@@ -485,6 +519,20 @@ func (t *Reader) Next() (any, error) {
 			AtNanos:    int64(binary.LittleEndian.Uint64(b[5:])),
 			DelayNanos: int64(binary.LittleEndian.Uint64(b[13:])),
 		}, nil
+	case recMigration:
+		var b [migrationWire]byte
+		if err := t.readFull(b[:], "migration"); err != nil {
+			t.err = err
+			return nil, err
+		}
+		return Migration{
+			LP:      binary.LittleEndian.Uint32(b[0:]),
+			SrcNode: binary.LittleEndian.Uint16(b[4:]),
+			DstNode: binary.LittleEndian.Uint16(b[6:]),
+			Round:   int64(binary.LittleEndian.Uint64(b[8:])),
+			Events:  binary.LittleEndian.Uint32(b[16:]),
+			AtNanos: int64(binary.LittleEndian.Uint64(b[20:])),
+		}, nil
 	default:
 		err := fmt.Errorf("trace: unknown record type %d at offset %d", kind, t.off-1)
 		t.err = err
@@ -495,13 +543,14 @@ func (t *Reader) Next() (any, error) {
 // Visitor receives decoded records by type; nil callbacks skip that
 // type. It replaces type-switching over Next's any-typed result.
 type Visitor struct {
-	Commit   func(Commit)
-	Round    func(Round)
-	Rollback func(Rollback)
-	MPISend  func(MPISend)
-	MPIRecv  func(MPIRecv)
-	Phase    func(Phase)
-	Fault    func(Fault)
+	Commit    func(Commit)
+	Round     func(Round)
+	Rollback  func(Rollback)
+	MPISend   func(MPISend)
+	MPIRecv   func(MPIRecv)
+	Phase     func(Phase)
+	Fault     func(Fault)
+	Migration func(Migration)
 }
 
 // ForEach decodes the whole stream, dispatching each record to the
@@ -545,6 +594,10 @@ func (t *Reader) ForEach(v Visitor) error {
 			if v.Fault != nil {
 				v.Fault(r)
 			}
+		case Migration:
+			if v.Migration != nil {
+				v.Migration(r)
+			}
 		}
 	}
 }
@@ -568,6 +621,9 @@ type Summary struct {
 	MaxRollbackDepth int64
 	Faults           int64
 	FaultsByKind     map[uint8]int64
+	// v2 extensions (zero on v0/v1 streams).
+	Migrations     int64 // LP moves recorded by the balancer
+	MigratedEvents int64 // pending events shipped along with moves
 }
 
 // Summarize reads a whole stream into a Summary.
@@ -608,6 +664,10 @@ func Summarize(r io.Reader) (*Summary, error) {
 				s.FaultsByKind = make(map[uint8]int64)
 			}
 			s.FaultsByKind[f.Kind]++
+		},
+		Migration: func(m Migration) {
+			s.Migrations++
+			s.MigratedEvents += int64(m.Events)
 		},
 	})
 	if err != nil {
