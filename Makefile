@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench fmt clean
+.PHONY: all build test verify bench benchdiff microbench cover fmt clean
 
 all: build
 
@@ -18,16 +18,37 @@ verify:
 
 # bench runs the telemetry-overhead benchmark (fails if sampling or
 # tracing shifts the committed-event rate by >= 5%), then regenerates
-# the machine-readable virtual-time baseline. BENCH_baseline.json is
-# deterministic — diff it against the checked-in copy to spot
-# performance regressions.
+# both benchmark documents: the deterministic virtual-time baseline
+# (BENCH_baseline.json, checked in, compared exactly) and the host
+# wall-clock/allocation document (BENCH_host.json, machine-dependent,
+# never checked in — CI compares it against the PR base with tolerance
+# bands via `make benchdiff`).
 bench:
 	$(GO) test -run xxx -bench BenchmarkTelemetry -benchtime 3x .
-	$(GO) run ./cmd/bench -out BENCH_baseline.json
+	$(GO) run ./cmd/bench -out BENCH_baseline.json -hostout BENCH_host.json
+
+# benchdiff compares a fresh virtual-time baseline against the
+# checked-in copy; any difference is a functional/performance
+# regression. CI runs this as a blocking gate.
+benchdiff:
+	$(GO) run ./cmd/bench -out /tmp/BENCH_fresh.json -hostout ""
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json /tmp/BENCH_fresh.json
+
+# microbench runs the hot-path microbenchmarks (events/sec, allocs/op)
+# for the event queue, rollback storm, and full-engine GVT rounds.
+microbench:
+	$(GO) test -run xxx -bench . -benchtime 100000x ./internal/eventq
+	$(GO) test -run xxx -bench 'RollbackHeavy|GVTRounds' -benchtime 3x ./internal/core
+
+# cover writes a coverage profile over the library packages. CI fails
+# if total coverage drops below its recorded floor.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 fmt:
 	gofmt -l -w .
 
 clean:
 	$(GO) clean ./...
-	rm -f run.trace run.json results.csv
+	rm -f run.trace run.json results.csv BENCH_host.json coverage.out coverage.html

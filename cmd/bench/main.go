@@ -1,29 +1,40 @@
 // Command bench runs a fixed set of baseline simulation cells and emits
-// their metrics as one machine-readable JSON document. Every metric is
-// derived from *virtual* time (the simulator's deterministic clock), so
-// the output is bit-stable across machines and reruns: the checked-in
-// BENCH_baseline.json can be diffed against a fresh run to spot
-// performance regressions the same way a golden test spots functional
-// ones.
+// two machine-readable JSON documents:
 //
-//	go run ./cmd/bench                 # writes BENCH_baseline.json
-//	go run ./cmd/bench -out -          # JSON to stdout
-//	make bench                         # telemetry-overhead gate + baseline
+//   - BENCH_baseline.json (-out): every metric is derived from *virtual*
+//     time (the simulator's deterministic clock), so the file is
+//     bit-stable across machines and reruns. The checked-in copy is
+//     diffed EXACTLY against a fresh run by `cmd/benchdiff` — the same
+//     way a golden test spots functional regressions.
+//
+//   - BENCH_host.json (-hostout): host wall-clock and allocation metrics
+//     for the same cells, plus a harness sweep measuring `-jobs`
+//     parallel speedup and output identity. Host numbers vary run to
+//     run, so this file is never checked in; CI compares it against the
+//     PR base ref with `cmd/benchdiff`'s tolerance bands instead.
+//
+//     go run ./cmd/bench                 # writes both documents
+//     go run ./cmd/bench -out - -hostout "" # virtual JSON to stdout only
+//     make bench                         # telemetry-overhead gate + both
 //
 // The real-time figure benchmarks stay in bench_test.go (`go test
 // -bench`); this command is their deterministic companion.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/trace"
@@ -31,6 +42,9 @@ import (
 
 // Schema identifies the baseline document layout.
 const Schema = "cagvt.bench-baseline/1"
+
+// HostSchema identifies the host-metrics document layout.
+const HostSchema = "cagvt.bench-host/1"
 
 // cell is one baseline configuration and its measured results.
 type cell struct {
@@ -60,6 +74,41 @@ type cell struct {
 type document struct {
 	Schema string `json:"schema"`
 	Cells  []cell `json:"cells"`
+}
+
+// hostCell is one cell's host-side (machine-dependent) measurements.
+type hostCell struct {
+	Name         string  `json:"name"`
+	WallNS       int64   `json:"wall_ns"`     // host wall-clock for the run
+	Allocs       uint64  `json:"allocs"`      // heap allocations during the run
+	AllocBytes   uint64  `json:"alloc_bytes"` // bytes allocated during the run
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Pool counters are deterministic (they depend only on the event
+	// lifecycle, not the host) but live here because they are allocator
+	// telemetry, not simulation results.
+	PoolNews     int64 `json:"pool_news"`
+	PoolRecycled int64 `json:"pool_recycled"`
+}
+
+// hostSweep measures the host-parallel harness: the same mini experiment
+// suite run with -jobs 1 and -jobs N, with byte-identity verified.
+type hostSweep struct {
+	Jobs        int     `json:"jobs"`
+	Cells       int     `json:"cells"` // experiment cells in the suite
+	WallNSJobs1 int64   `json:"wall_ns_jobs1"`
+	WallNSJobsN int64   `json:"wall_ns_jobsn"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"` // jobs-1 and jobs-N output byte-identical
+}
+
+// hostDoc is the whole host-metrics file.
+type hostDoc struct {
+	Schema     string     `json:"schema"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Cells      []hostCell `json:"cells"`
+	Sweep      *hostSweep `json:"sweep,omitempty"`
 }
 
 // spec declares one cell's configuration before measurement.
@@ -94,7 +143,7 @@ func specs() []spec {
 	}
 }
 
-func run(s spec) (cell, error) {
+func run(s spec) (cell, hostCell, error) {
 	top := cluster.Topology{Nodes: s.nodes, WorkersPerNode: 4, LPsPerWorker: 16}
 	base := phold.ComputationDominated()
 	if s.workload == "comm" {
@@ -114,7 +163,7 @@ func run(s spec) (cell, error) {
 	if s.faults != "" {
 		plan, err := fabric.Scenario(s.faults, s.nodes)
 		if err != nil {
-			return cell{}, err
+			return cell{}, hostCell{}, err
 		}
 		cfg.Faults = plan
 		cfg.FaultLabel = s.faults
@@ -123,9 +172,27 @@ func run(s spec) (cell, error) {
 		cfg.Metrics = metrics.NewRecorder()
 		cfg.Trace = trace.NewWriter(io.Discard)
 	}
+	// Host measurement brackets the engine run: a GC fence first so a
+	// previous cell's garbage doesn't bill this one, then Mallocs/
+	// TotalAlloc deltas and wall time around construction + run.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
 	r, err := core.New(cfg).Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
 	if err != nil {
-		return cell{}, err
+		return cell{}, hostCell{}, err
+	}
+	h := hostCell{
+		Name:         s.name,
+		WallNS:       wall.Nanoseconds(),
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		EventsPerSec: float64(r.Workers.Committed) / wall.Seconds(),
+		PoolNews:     r.PoolNews,
+		PoolRecycled: r.PoolRecycled,
 	}
 	return cell{
 		Name: s.name, Nodes: s.nodes, GVT: s.gvt.String(), Comm: s.comm.String(),
@@ -135,42 +202,130 @@ func run(s spec) (cell, error) {
 		WallNanos: int64(r.WallTime), Rate: r.EventRate(), Efficiency: r.Efficiency(),
 		GVTRounds: r.GVTRounds, MPIMessages: r.MPIMessages, Migrations: r.Migrations,
 		CommitChecksum: metrics.Checksum(r.CommitChecksum),
-	}, nil
+	}, h, nil
 }
 
-func main() {
-	out := flag.String("out", "BENCH_baseline.json", "output file (- for stdout)")
-	flag.Parse()
+// sweepSuite is the mini experiment suite the harness sweep times: two
+// multi-series node sweeps, one per workload regime.
+func sweepSuite() []string { return []string{"fig5", "fig9"} }
 
-	doc := document{Schema: Schema}
-	for _, s := range specs() {
-		c, err := run(s)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.name, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "bench: %-24s rate=%.4g ev/s eff=%.1f%% wall=%dns\n",
-			c.Name, c.Rate, 100*c.Efficiency, c.WallNanos)
-		doc.Cells = append(doc.Cells, c)
+func sweepOptions() harness.Options {
+	return harness.Options{
+		WorkersPerNode: 4,
+		LPsPerWorker:   16,
+		EndTime:        12,
+		Seed:           benchSeed,
+		NodeCounts:     []int{1, 2, 4},
+		CAThreshold:    0.80,
+		Verbose:        true,
 	}
+}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+// runSweep times the mini suite at -jobs 1 and -jobs N and verifies the
+// outputs are byte-identical.
+func runSweep(jobs int) *hostSweep {
+	pass := func(j int) (string, int64) {
+		var buf bytes.Buffer
+		start := time.Now()
+		for _, id := range sweepSuite() {
+			e, ok := harness.Find(id)
+			if !ok {
+				panic("bench: unknown sweep experiment " + id)
+			}
+			opt := sweepOptions()
+			opt.Jobs = j
+			table := e.Execute(opt, &buf)
+			table.Render(&buf)
+			table.CSV(&buf)
+		}
+		return buf.String(), time.Since(start).Nanoseconds()
+	}
+	seqOut, seqNS := pass(1)
+	parOut, parNS := pass(jobs)
+	cells := 0
+	for range sweepSuite() {
+		opt := sweepOptions()
+		cells += len(opt.NodeCounts)
+	}
+	sw := &hostSweep{
+		Jobs:        jobs,
+		Cells:       cells,
+		WallNSJobs1: seqNS,
+		WallNSJobsN: parNS,
+		Identical:   seqOut == parOut,
+	}
+	if parNS > 0 {
+		sw.Speedup = float64(seqNS) / float64(parNS)
+	}
+	return sw
+}
+
+// writeJSON encodes doc to path ("-" for stdout, "" disabled).
+func writeJSON(path string, doc any) error {
+	if path == "" {
+		return nil
+	}
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(doc); err != nil {
+	return enc.Encode(doc)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "virtual-time baseline output file (- for stdout, empty to skip)")
+	hostOut := flag.String("hostout", "BENCH_host.json", "host wall-clock/alloc output file (- for stdout, empty to skip)")
+	sweepJobs := flag.Int("sweepjobs", runtime.GOMAXPROCS(0), "-jobs value for the harness parallel sweep (0 skips; values <2 are raised to 2 so output identity is always checked)")
+	flag.Parse()
+
+	doc := document{Schema: Schema}
+	host := hostDoc{
+		Schema:     HostSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, s := range specs() {
+		c, h, err := run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-24s rate=%.4g ev/s eff=%.1f%% wall=%dns host=%.0fms allocs=%d recycled=%d\n",
+			c.Name, c.Rate, 100*c.Efficiency, c.WallNanos,
+			float64(h.WallNS)/1e6, h.Allocs, h.PoolRecycled)
+		doc.Cells = append(doc.Cells, c)
+		host.Cells = append(host.Cells, h)
+	}
+	if *hostOut != "" && *sweepJobs > 0 {
+		j := *sweepJobs
+		if j < 2 {
+			j = 2
+		}
+		host.Sweep = runSweep(j)
+		fmt.Fprintf(os.Stderr, "bench: sweep jobs=%d speedup=%.2fx identical=%v\n",
+			host.Sweep.Jobs, host.Sweep.Speedup, host.Sweep.Identical)
+	}
+
+	if err := writeJSON(*out, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
-	if *out != "-" {
+	if *out != "" && *out != "-" {
 		fmt.Fprintf(os.Stderr, "bench: wrote %d cells to %s\n", len(doc.Cells), *out)
+	}
+	if err := writeJSON(*hostOut, host); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *hostOut != "" && *hostOut != "-" {
+		fmt.Fprintf(os.Stderr, "bench: wrote %d host cells to %s\n", len(host.Cells), *hostOut)
 	}
 }

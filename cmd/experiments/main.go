@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -42,10 +43,15 @@ func main() {
 		mdPath   = flag.String("md", "", "also write results as markdown tables to this file")
 		jsonPath = flag.String("report", "", "also write tables + one telemetry run report per execution as JSON to this file")
 		capN     = flag.Int("samplecap", 0, "max telemetry samples per series with -report (0: default)")
+		jobsN    = flag.Int("jobs", runtime.GOMAXPROCS(0), "experiment cells to run concurrently on host cores (1: sequential; output is byte-identical for every value)")
 		verbose  = flag.Bool("v", false, "print each run as it completes")
 	)
 	flag.Parse()
 
+	if *jobsN < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1, got %d\n", *jobsN)
+		os.Exit(2)
+	}
 	opt := harness.Options{
 		WorkersPerNode: *workers,
 		LPsPerWorker:   *lps,
@@ -56,6 +62,7 @@ func main() {
 		Verbose:        *verbose,
 		FaultScenario:  *faults,
 		BalancePolicy:  *balPol,
+		Jobs:           *jobsN,
 	}
 	if *faults != "" {
 		if _, err := fabric.Scenario(*faults, 1); err != nil {
@@ -119,7 +126,7 @@ func main() {
 		opt.WorkersPerNode, opt.LPsPerWorker, opt.EndTime, opt.Seed, opt.NodeCounts)
 	var tables []harness.Table
 	for _, e := range todo {
-		table := e.Run(opt, os.Stdout)
+		table := e.Execute(opt, os.Stdout)
 		table.Render(os.Stdout)
 		if csv != nil {
 			table.CSV(csv)

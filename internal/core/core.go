@@ -61,6 +61,38 @@ func (k GVTKind) String() string {
 	return fmt.Sprintf("GVTKind(%d)", int(k))
 }
 
+// PoolMode selects how the engine allocates event objects.
+type PoolMode int
+
+const (
+	// PoolOn (the default) recycles events through per-node free lists:
+	// an event returns to its current node's pool when it is
+	// fossil-collected or annihilated, and Send reuses it instead of
+	// allocating. The pool charges no virtual cost, so results are
+	// bit-identical to PoolOff.
+	PoolOn PoolMode = iota
+	// PoolOff allocates every event fresh (the pre-pool behaviour, kept
+	// as the baseline the allocation microbenchmarks compare against).
+	PoolOff
+	// PoolDebug recycles with poison-on-free: freed events are filled
+	// with sentinel values verified on reuse, and the engine asserts
+	// liveness at every delivery and anti-copy — catching
+	// use-after-recycle at its source instead of as silent corruption.
+	PoolDebug
+)
+
+func (m PoolMode) String() string {
+	switch m {
+	case PoolOn:
+		return "on"
+	case PoolOff:
+		return "off"
+	case PoolDebug:
+		return "debug"
+	}
+	return fmt.Sprintf("PoolMode(%d)", int(m))
+}
+
 // CommMode selects how MPI communication is serviced within a node
 // (the paper's first contribution, §4 "Dedicated MPI Thread").
 type CommMode int
@@ -140,8 +172,9 @@ type Config struct {
 	Comm      CommMode
 	EndTime   vtime.Time
 	Seed      uint64
-	QueueKind string // pending-set implementation: "heap" (default) | "calendar"
-	BatchSize int    // events processed per main-loop pass (default 16, as ROSS mbatch)
+	Pool      PoolMode // event allocation strategy (default PoolOn)
+	QueueKind string   // pending-set implementation: "heap" (default) | "calendar"
+	BatchSize int      // events processed per main-loop pass (default 16, as ROSS mbatch)
 
 	// CheckpointInterval is the state-saving period: a snapshot is taken
 	// before every k-th processed event of an LP (1 = copy state every
@@ -272,6 +305,9 @@ func (c *Config) Validate() error {
 	if c.WatchdogFallbackAfter < 0 {
 		return fmt.Errorf("core: WatchdogFallbackAfter must be positive, got %d", c.WatchdogFallbackAfter)
 	}
+	if c.Pool < PoolOn || c.Pool > PoolDebug {
+		return fmt.Errorf("core: unknown PoolMode %d", int(c.Pool))
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.Topology.Nodes); err != nil {
 			return err
@@ -293,6 +329,14 @@ type Engine struct {
 	// matchSeq hands out cluster-unique anti-message match IDs. It lives
 	// outside simulated state: IDs are never reused, never rolled back.
 	matchSeq uint64
+
+	// poolDebug mirrors Config.Pool == PoolDebug so hot paths pay one
+	// bool check for the liveness asserts.
+	poolDebug bool
+
+	// lvtScratch is reused across GVT rounds by onRoundComplete so the
+	// per-round disparity sample allocates nothing in steady state.
+	lvtScratch []float64
 
 	// run-level results
 	finishedAt  sim.Time
@@ -363,6 +407,7 @@ func New(cfg Config) *Engine {
 	}
 	eng := &Engine{cfg: cfg, env: sim.NewEnv()}
 	eng.env.LivelockLimit = 500_000_000
+	eng.poolDebug = cfg.Pool == PoolDebug
 	eng.world = mpi.NewWorld(eng.env, cfg.Topology.Nodes, cfg.Net, cfg.MPICosts)
 	eng.routing = cluster.NewRouting(cfg.Topology)
 	if cfg.Balance != "" && cfg.Balance != "static" && cfg.Balance != "none" {
@@ -482,6 +527,10 @@ func (e *Engine) collect() *stats.Run {
 	}
 	var sum uint64
 	for _, nd := range e.nodes {
+		if p := nd.pool; p != nil {
+			r.PoolNews += int64(p.News)
+			r.PoolRecycled += int64(p.Gets)
+		}
 		for _, w := range nd.workers {
 			r.Workers.Add(&w.st)
 			for _, l := range w.lps {
@@ -528,7 +577,10 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 	}
 	e.finalGVT = gvt
 	e.finishedAt = e.env.Now()
-	lvts := make([]float64, 0, e.cfg.Topology.TotalWorkers())
+	if e.lvtScratch == nil {
+		e.lvtScratch = make([]float64, 0, e.cfg.Topology.TotalWorkers())
+	}
+	lvts := e.lvtScratch[:0]
 	var scratch []metrics.WorkerSample
 	if e.cfg.Metrics != nil {
 		scratch = e.cfg.Metrics.Scratch()
@@ -551,6 +603,7 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 		}
 	}
 	e.disparity.Observe(lvts)
+	e.lvtScratch = lvts[:0]
 	if scratch != nil {
 		f := e.world.Fabric()
 		inMsgs, inBytes := f.InFlight()

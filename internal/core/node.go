@@ -33,6 +33,11 @@ type node struct {
 	// CPU charge on this node's threads goes through it.
 	cost cluster.CostModel
 
+	// pool recycles event objects for every thread of this node (nil
+	// with PoolOff). No lock: the cooperative kernel runs one goroutine
+	// at a time, so pool operations never race.
+	pool *event.Pool
+
 	// outbox is the "global shared data structure" (§4) worker threads
 	// write remote messages into for the MPI thread to send. outAcks is
 	// its Samadi-acknowledgement counterpart.
@@ -40,6 +45,11 @@ type node struct {
 	outbox  []*event.Event
 	outAcks []remoteAck
 	outMigs []*migMsg // outbound LP migrations (balancer runs only)
+
+	// outFree is the spare backing array the pump swaps into outbox on a
+	// full drain, so steady-state pumping re-uses two arrays instead of
+	// growing a fresh one per drain (pool modes only).
+	outFree []*event.Event
 
 	// Barrier-GVT shared state (Algorithm 1). Slots are per worker.
 	gvtBar   *sim.Barrier // two-phase node barrier: enter
@@ -91,6 +101,9 @@ func newNode(eng *Engine, id int, streams *rng.Sequence) *node {
 		if f, ok := eng.cfg.Faults.Straggler[id]; ok {
 			n.cost = n.cost.Scaled(f)
 		}
+	}
+	if eng.cfg.Pool != PoolOff {
+		n.pool = event.NewPool(eng.cfg.Pool == PoolDebug)
 	}
 	n.outMu.Name = fmt.Sprintf("outbox-%d", id)
 	n.outMu.HoldCost = n.cost.RegionalLockHold
@@ -146,12 +159,17 @@ func (n *node) pump(p *sim.Proc) bool {
 	n.outMu.Lock(p)
 	out := n.outbox
 	backlog := 0
+	drained := false
 	if len(out) > pumpBudget {
 		out = out[:pumpBudget]
 		n.outbox = n.outbox[pumpBudget:]
 		backlog = len(n.outbox)
 	} else {
-		n.outbox = nil
+		// Full drain: swap in the spare backing array (if any) so the
+		// workers' next enqueues append without growing a fresh slice.
+		n.outbox = n.outFree
+		n.outFree = nil
+		drained = true
 	}
 	n.outMu.Unlock(p)
 	wpn := n.eng.cfg.Topology.WorkersPerNode
@@ -174,6 +192,15 @@ func (n *node) pump(p *sim.Proc) bool {
 			})
 		}
 		worked = true
+	}
+	// Retire the drained backing array as the next spare. No simulated
+	// lock (and so no virtual-cost change): the cooperative kernel runs
+	// one goroutine at a time, and a racing pump at worst drops a spare.
+	if drained && n.pool != nil && cap(out) > 0 {
+		for i := range out {
+			out[i] = nil
+		}
+		n.outFree = out[:0]
 	}
 	// Outbound LP migrations (balancer runs only).
 	if n.eng.migEnabled && len(n.outMigs) > 0 {

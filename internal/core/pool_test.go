@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	core "repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// stragglerPlan builds the built-in straggler fault scenario for the
+// balance-test topology.
+func stragglerPlan(t *testing.T) *fabric.FaultPlan {
+	t.Helper()
+	plan, err := fabric.Scenario("straggler", balanceTopology().Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// poolGVTs are the four GVT algorithms the pool parity sweep covers.
+func poolGVTs() []core.GVTKind {
+	return []core.GVTKind{core.GVTBarrier, core.GVTMattern, core.GVTControlled, core.GVTSamadi}
+}
+
+// TestPoolParityAcrossModelsAndGVT: event recycling must be invisible.
+// For every benchmark model and every GVT algorithm, the committed event
+// stream (checksum + count) and the virtual wall-clock must be
+// bit-identical across PoolOff (fresh allocation), PoolOn (free lists)
+// and PoolDebug (free lists + poison + liveness asserts). The debug leg
+// doubles as a use-after-recycle sweep over every recycle point the
+// engine has: one stale write anywhere and the poisoned pool panics.
+func TestPoolParityAcrossModelsAndGVT(t *testing.T) {
+	for _, m := range balanceModels(balanceTopology()) {
+		for _, gvt := range poolGVTs() {
+			t.Run(fmt.Sprintf("%s/%s", m.name, gvt), func(t *testing.T) {
+				type result struct {
+					checksum  uint64
+					committed int64
+					wall      int64
+					recycled  int64
+				}
+				results := map[core.PoolMode]result{}
+				for _, mode := range []core.PoolMode{core.PoolOff, core.PoolOn, core.PoolDebug} {
+					cfg := balanceConfig(m, "", gvt)
+					cfg.Pool = mode
+					r, err := core.New(cfg).Run()
+					if err != nil {
+						t.Fatalf("pool=%v: %v", mode, err)
+					}
+					results[mode] = result{r.CommitChecksum, r.Workers.Committed, int64(r.WallTime), r.PoolRecycled}
+				}
+				off, on, dbg := results[core.PoolOff], results[core.PoolOn], results[core.PoolDebug]
+				if off.checksum != on.checksum || off.committed != on.committed || off.wall != on.wall {
+					t.Errorf("PoolOn diverged: off=%+v on=%+v", off, on)
+				}
+				if off.checksum != dbg.checksum || off.committed != dbg.committed || off.wall != dbg.wall {
+					t.Errorf("PoolDebug diverged: off=%+v debug=%+v", off, dbg)
+				}
+				if off.recycled != 0 {
+					t.Errorf("PoolOff recycled %d events", off.recycled)
+				}
+				if on.recycled == 0 {
+					t.Errorf("PoolOn recycled nothing (pool not wired in?)")
+				}
+			})
+		}
+	}
+}
+
+// TestPoolParityUnderFaultsAndMigration extends the parity check to the
+// adversarial regime: straggler faults plus the greedy balancer, where
+// events additionally travel through the reliable transport, limbo
+// mailboxes and LP migration packs. Recycling an event any of those
+// structures still references would change the stream (or panic the
+// debug leg).
+func TestPoolParityUnderFaultsAndMigration(t *testing.T) {
+	m := compModel(balanceTopology(), 60)
+	var sums []uint64
+	for _, mode := range []core.PoolMode{core.PoolOff, core.PoolOn, core.PoolDebug} {
+		cfg := balanceConfig(m, "greedy", core.GVTControlled)
+		cfg.Pool = mode
+		cfg.Faults = stragglerPlan(t)
+		cfg.FaultLabel = "straggler"
+		r, err := core.New(cfg).Run()
+		if err != nil {
+			t.Fatalf("pool=%v: %v", mode, err)
+		}
+		sums = append(sums, r.CommitChecksum)
+	}
+	if sums[0] != sums[1] || sums[0] != sums[2] {
+		t.Errorf("checksums diverged across pool modes: %x", sums)
+	}
+}

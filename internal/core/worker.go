@@ -30,6 +30,16 @@ type worker struct {
 	inMu  sim.Mutex
 	inbox []*event.Event
 
+	// inFree is the spare mailbox backing array: drainInbox swaps it in
+	// and retires the drained batch into it, so steady-state draining
+	// ping-pongs between two arrays instead of growing a fresh one per
+	// batch (pool modes only).
+	inFree []*event.Event
+
+	// sentFree recycles histEntry.sent backing arrays freed at fossil
+	// collection and rollback (pool modes only).
+	sentFree [][]*event.Event
+
 	// Migration state (engine.migEnabled only). migOut holds orders the
 	// planner parked for the next applyGVT; migIn is the mailbox arrived
 	// migrations wait in; limbo parks events that arrived ahead of their
@@ -108,6 +118,63 @@ func newWorker(eng *Engine, n *node, idx int, streams *rng.Sequence) *worker {
 		w.byID[id] = l
 	}
 	return w
+}
+
+// newEvent allocates an event, recycling through the node pool when one
+// is configured. The pool charges no virtual cost: PoolOn and PoolOff
+// runs are bit-identical in everything but host allocation counts.
+func (w *worker) newEvent() *event.Event {
+	if p := w.node.pool; p != nil {
+		return p.Get()
+	}
+	return &event.Event{}
+}
+
+// freeEvent returns an event whose last reference is being dropped to the
+// node pool. Callers must guarantee sole ownership; the free sites are
+// annihilation (both halves of the pair), fossil collection of history
+// entries, and the below-GVT anti-stash prune — the three points where
+// Time Warp provably retires an event.
+func (w *worker) freeEvent(e *event.Event) {
+	if p := w.node.pool; p != nil {
+		p.Put(e)
+	}
+}
+
+// assertLive panics if ev was recycled while still referenced (PoolDebug
+// only; callers check w.eng.poolDebug to keep the hot path at one bool).
+func (w *worker) assertLive(ev *event.Event, where string) {
+	if ev.Freed() {
+		panic(fmt.Sprintf("core: use-after-recycle: freed event touched in %s at worker %d/%d",
+			where, w.node.id, w.idx))
+	}
+}
+
+// takeSentBuf hands processOne a recycled sent-events backing array.
+func (w *worker) takeSentBuf() []*event.Event {
+	if n := len(w.sentFree); n > 0 {
+		b := w.sentFree[n-1]
+		w.sentFree[n-1] = nil
+		w.sentFree = w.sentFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// sentFreeCap bounds the sent-buffer free list; beyond it, retired
+// buffers fall back to the garbage collector.
+const sentFreeCap = 256
+
+// putSentBuf retires a histEntry.sent backing array for reuse.
+func (w *worker) putSentBuf(b []*event.Event) {
+	if w.node.pool == nil || cap(b) == 0 || len(w.sentFree) >= sentFreeCap {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	w.sentFree = append(w.sentFree, b[:0])
 }
 
 func (w *worker) lpByID(id event.LPID) *lp {
@@ -234,9 +301,13 @@ func (w *worker) commRole() commRoleKind {
 func (w *worker) drainInbox() bool {
 	w.inMu.Lock(w.proc)
 	batch := w.inbox
-	w.inbox = nil
+	w.inbox = w.inFree
+	w.inFree = nil
 	w.inMu.Unlock(w.proc)
 	if len(batch) == 0 {
+		if cap(batch) > 0 {
+			w.inFree = batch[:0]
+		}
 		return false
 	}
 	if h := w.eng.hInboxBatch; h != nil {
@@ -254,6 +325,14 @@ func (w *worker) drainInbox() bool {
 			w.sendAck(ev)
 		}
 		w.deliver(ev)
+	}
+	// Retire the drained array as the next spare (pool modes only; a nil
+	// spare keeps PoolOff allocation behaviour exactly pre-pool).
+	if w.node.pool != nil {
+		for i := range batch {
+			batch[i] = nil
+		}
+		w.inFree = batch[:0]
 	}
 	return true
 }
@@ -286,20 +365,31 @@ func (w *worker) deliver(ev *event.Event) {
 		w.route(ev)
 		return
 	}
+	if w.eng.poolDebug {
+		w.assertLive(ev, "deliver")
+	}
 	l := w.lpByID(ev.Dst)
 	if ev.Anti {
 		if pos := w.pending.RemoveMatching(ev); pos != nil {
 			w.st.Annihilated++
+			// Both halves of the pair are done: the positive's sender
+			// rolled back (dropping its sent-list reference) before the
+			// anti existed, and the anti was ours alone.
+			w.freeEvent(pos)
+			w.freeEvent(ev)
 			return
 		}
 		if i := l.findProcessed(ev); i >= 0 {
 			// The positive was optimistically processed: roll back to just
 			// before it, which re-enqueues it, then annihilate.
 			w.rollback(l, l.history[i].ev.Stamp, false)
-			if w.pending.RemoveMatching(ev) == nil {
+			pos := w.pending.RemoveMatching(ev)
+			if pos == nil {
 				panic("core: rolled-back positive vanished before annihilation")
 			}
 			w.st.Annihilated++
+			w.freeEvent(pos)
+			w.freeEvent(ev)
 			return
 		}
 		// Anti overtook its positive: stash until it arrives.
@@ -308,6 +398,8 @@ func (w *worker) deliver(ev *event.Event) {
 	}
 	if a := l.takeAnti(ev); a != nil {
 		w.st.Annihilated++
+		w.freeEvent(a)
+		w.freeEvent(ev)
 		return
 	}
 	if ev.Stamp.Before(l.lastStamp()) {
@@ -351,6 +443,9 @@ func (w *worker) processBatch() bool {
 }
 
 func (w *worker) processOne(ev *event.Event) {
+	if w.eng.poolDebug {
+		w.assertLive(ev, "processOne")
+	}
 	l := w.lpByID(ev.Dst)
 	if ev.Stamp.Before(l.lastStamp()) {
 		panic(fmt.Sprintf("core: pending straggler leaked to processing: %v behind %v", ev, l.lastStamp()))
@@ -369,9 +464,15 @@ func (w *worker) processOne(ev *event.Event) {
 	if l.sinceSnap >= cfg.CheckpointInterval {
 		l.sinceSnap = 0
 	}
-	ctx := execCtx{w: w, lp: l, ev: ev}
+	ctx := execCtx{w: w, lp: l, ev: ev, sent: w.takeSentBuf()}
 	l.model.OnEvent(&ctx, ev)
-	entry.sent = ctx.sent
+	if len(ctx.sent) == 0 {
+		// Nothing sent: keep the recycled buffer for the next event so
+		// entry.sent stays nil exactly as with fresh allocation.
+		w.putSentBuf(ctx.sent)
+	} else {
+		entry.sent = ctx.sent
+	}
 	l.history = append(l.history, entry)
 	w.uncommitted++
 	w.st.Processed++
@@ -488,12 +589,17 @@ func (w *worker) rollback(l *lp, s vtime.Stamp, straggler bool) {
 
 	// Re-enqueue the undone events and collect cancellations.
 	var antis []*event.Event
+	debug := w.eng.poolDebug
 	for i := range popped {
 		entry := &popped[i]
 		w.pending.Push(entry.ev)
 		for _, out := range entry.sent {
-			antis = append(antis, out.AntiCopy())
+			if debug {
+				w.assertLive(out, "rollback anti-copy")
+			}
+			antis = append(antis, out.AntiCopyInto(w.newEvent()))
 		}
+		w.putSentBuf(entry.sent)
 		entry.sent = nil
 		entry.snapping = nil
 	}
@@ -540,6 +646,16 @@ func (w *worker) applyGVT(g float64) {
 		}
 		if free > 0 {
 			freed += int64(free)
+			// The freed prefix is fully committed: recycle each entry's
+			// event and its sent-list backing array. The sent events
+			// themselves belong to their receivers (they are freed — or
+			// already were — by the receiver's own fossil collection).
+			for i := 0; i < free; i++ {
+				entry := &l.history[i]
+				w.freeEvent(entry.ev)
+				w.putSentBuf(entry.sent)
+				entry.sent = nil
+			}
 			l.history = append(l.history[:0], l.history[free:]...)
 			if len(l.history) == 0 {
 				// The whole history was freed: the next processed event
@@ -551,6 +667,7 @@ func (w *worker) applyGVT(g float64) {
 		// Stashed anti-messages below GVT can never match anything now.
 		for i := 0; i < len(l.pendingAnti); {
 			if l.pendingAnti[i].Stamp.T < g {
+				w.freeEvent(l.pendingAnti[i])
 				l.pendingAnti = append(l.pendingAnti[:i], l.pendingAnti[i+1:]...)
 			} else {
 				i++

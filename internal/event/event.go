@@ -76,7 +76,14 @@ type Event struct {
 	Color    Color
 	Kind     uint16 // model-defined discriminator
 	Data     []byte // model payload (nil for PHOLD)
+
+	freed bool // set while the event sits on a Pool free list
 }
+
+// Freed reports whether the event is currently on a pool free list. Any
+// code holding a pointer for which this returns true has a use-after-
+// recycle bug; the engine asserts this on every touch in PoolDebug mode.
+func (e *Event) Freed() bool { return e.freed }
 
 // RecvTime returns the stamp's primary timestamp.
 func (e *Event) RecvTime() vtime.Time { return e.Stamp.T }
@@ -92,6 +99,17 @@ func (e *Event) AntiCopy() *Event {
 	a.Anti = true
 	a.Data = nil
 	return &a
+}
+
+// AntiCopyInto fills a (typically pool-recycled) with the anti-message
+// cancelling e and returns it. Equivalent to AntiCopy without the heap
+// allocation.
+func (e *Event) AntiCopyInto(a *Event) *Event {
+	*a = *e
+	a.Anti = true
+	a.Data = nil
+	a.freed = false
+	return a
 }
 
 func (e *Event) String() string {

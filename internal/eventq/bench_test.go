@@ -1,0 +1,172 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vtime"
+)
+
+// Hot-path microbenchmarks for the pending event set. The churn pattern
+// mirrors the engine's steady state: the queue holds ~holdSize events
+// and each "processed" event schedules a successor at a later stamp (the
+// classic hold model). The pooled variants recycle popped events through
+// an event.Pool the way the engine recycles at annihilation and fossil
+// collection; the alloc variants allocate a fresh Event per push, the
+// pre-pool behaviour. The delta is the allocs/op the pool removes.
+
+const holdSize = 512
+
+func seedQueue(q Queue, rng *rand.Rand, pool *event.Pool) {
+	for i := 0; i < holdSize; i++ {
+		e := &event.Event{}
+		if pool != nil {
+			e = pool.Get()
+		}
+		e.Stamp = vtime.Stamp{T: rng.Float64() * 100, Src: uint32(i), Seq: uint64(i)}
+		e.Dst = event.LPID(i)
+		q.Push(e)
+	}
+}
+
+func benchChurn(b *testing.B, kind string, pool *event.Pool) {
+	q := New(kind)
+	rng := rand.New(rand.NewSource(1))
+	seedQueue(q, rng, pool)
+	seq := uint64(holdSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		next := e.Stamp.T + rng.Float64()*10
+		if pool != nil {
+			pool.Put(e)
+			e = pool.Get()
+		} else {
+			e = &event.Event{}
+		}
+		seq++
+		e.Stamp = vtime.Stamp{T: next, Src: uint32(i % holdSize), Seq: seq}
+		e.Dst = event.LPID(i % holdSize)
+		q.Push(e)
+	}
+	b.StopTimer()
+	reportEventsPerSec(b)
+}
+
+func reportEventsPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "events/s")
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	b.Run("alloc", func(b *testing.B) { benchChurn(b, "heap", nil) })
+	b.Run("pooled", func(b *testing.B) { benchChurn(b, "heap", event.NewPool(false)) })
+}
+
+func BenchmarkCalendarChurn(b *testing.B) {
+	b.Run("alloc", func(b *testing.B) { benchChurn(b, "calendar", nil) })
+	b.Run("pooled", func(b *testing.B) { benchChurn(b, "calendar", event.NewPool(false)) })
+}
+
+// BenchmarkRollbackStorm measures the rollback hot path in isolation:
+// each iteration "sends" a batch of events into the queue, then rolls
+// them back — producing one anti-message per sent event and
+// annihilating it against the queue. Pre-PR this allocated a fresh
+// Event per send AND per anti-copy (event.AntiCopy); the pooled variant
+// recycles both through event.Pool via AntiCopyInto, which is what the
+// engine's rollback path does.
+func BenchmarkRollbackStorm(b *testing.B) {
+	const batch = 64
+	bench := func(b *testing.B, pool *event.Pool) {
+		q := NewHeap()
+		antis := make([]*event.Event, 0, batch)
+		var seq uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Send phase: enqueue a batch of positives.
+			for k := 0; k < batch; k++ {
+				var e *event.Event
+				if pool != nil {
+					e = pool.Get()
+				} else {
+					e = &event.Event{}
+				}
+				seq++
+				e.Stamp = vtime.Stamp{T: float64(seq), Src: uint32(k), Seq: seq}
+				e.Src = event.LPID(k)
+				e.MatchID = seq
+				q.Push(e)
+				// Roll back: emit the cancelling anti-message.
+				if pool != nil {
+					antis = append(antis, e.AntiCopyInto(pool.Get()))
+				} else {
+					antis = append(antis, e.AntiCopy())
+				}
+			}
+			// Annihilation phase: each anti cancels its positive.
+			for _, a := range antis {
+				hit := q.RemoveMatching(a)
+				if hit == nil {
+					b.Fatal("anti found no match")
+				}
+				if pool != nil {
+					pool.Put(hit)
+					pool.Put(a)
+				}
+			}
+			antis = antis[:0]
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)*batch/s, "events/s")
+		}
+	}
+	b.Run("alloc", func(b *testing.B) { bench(b, nil) })
+	b.Run("pooled", func(b *testing.B) { bench(b, event.NewPool(false)) })
+}
+
+// BenchmarkRemoveMatching measures annihilation probes against a
+// populated queue — the anti-message hot path during rollback storms.
+func BenchmarkRemoveMatching(b *testing.B) {
+	for _, kind := range []string{"heap", "calendar"} {
+		b.Run(kind, func(b *testing.B) {
+			pool := event.NewPool(false)
+			q := New(kind)
+			rng := rand.New(rand.NewSource(1))
+			seedQueue(q, rng, pool)
+			// Every queued event gets a MatchID so probes can hit; the
+			// probe anti must carry the target's MatchID, Src and stamp
+			// (the calendar buckets by receive time).
+			var matchSeq uint64
+			byID := make(map[uint64]*event.Event, holdSize)
+			for e := q.Pop(); e != nil; e = q.Pop() {
+				matchSeq++
+				e.MatchID = matchSeq
+				byID[matchSeq] = e
+			}
+			for _, e := range byID {
+				q.Push(e)
+			}
+			anti := &event.Event{Anti: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target := byID[uint64(i%holdSize)+1]
+				anti.MatchID = target.MatchID
+				anti.Src = target.Src
+				anti.Stamp = target.Stamp
+				hit := q.RemoveMatching(anti)
+				if hit == nil {
+					b.Fatalf("MatchID %d not found", target.MatchID)
+				}
+				q.Push(hit)
+			}
+			b.StopTimer()
+			reportEventsPerSec(b)
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Host-parallel experiment execution.
+//
+// Every cell of every experiment is an independent deterministic
+// simulation: separate engines share no mutable state, so cells can run
+// on separate host cores. What must NOT change is the observable output
+// — the verbose per-run lines, the tables, the CSV, and the order of
+// collected telemetry reports are all defined by the sequential
+// execution order. The executor therefore runs an experiment in two
+// passes over the experiment's own code:
+//
+//  1. collect: the figure function runs with every runSpec.execute
+//     intercepted — specs are recorded in call order, nothing executes.
+//  2. The recorded specs run on a worker pool, each with a private
+//     output buffer and a private report set.
+//  3. fill: the figure function runs again; execute returns the finished
+//     cell for each spec (verified against the recording — a figure
+//     function whose spec sequence depends on cell values would be
+//     nondeterministic under this scheme, and panics instead of
+//     silently reordering), replays its buffered output and merges its
+//     reports, all in the original sequential order.
+//
+// Figure functions are pure in their Options, so both passes record the
+// same sequence and `-jobs N` output is byte-identical to `-jobs 1`.
+
+// execPhase is the executor's state.
+type execPhase int
+
+const (
+	execCollect execPhase = iota + 1
+	execFill
+)
+
+// execJob is one recorded cell execution and its results.
+type execJob struct {
+	spec runSpec
+	opt  Options // as passed to execute during collect (exec stripped to run)
+
+	cell    Cell
+	out     []byte            // buffered verbose/FAILED output
+	reports []*metrics.Report // private report set, merged at fill
+}
+
+// executor carries the two-pass state through Options.
+type executor struct {
+	phase execPhase
+	jobs  []execJob
+	next  int // fill cursor
+}
+
+// intercept implements both passes of runSpec.execute. The boolean
+// reports whether the executor handled the call (false: sequential
+// path).
+func (x *executor) intercept(s runSpec, opt Options, w io.Writer) (Cell, bool) {
+	switch x.phase {
+	case execCollect:
+		x.jobs = append(x.jobs, execJob{spec: s, opt: opt})
+		return Cell{}, true
+	case execFill:
+		if x.next >= len(x.jobs) || x.jobs[x.next].spec != s {
+			panic(fmt.Sprintf("harness: fill pass diverged from collect pass at cell %d (%+v): experiment is not deterministic in its Options", x.next, s))
+		}
+		j := &x.jobs[x.next]
+		x.next++
+		if w != nil && len(j.out) > 0 {
+			w.Write(j.out)
+		}
+		if opt.Reports != nil {
+			opt.Reports.Reports = append(opt.Reports.Reports, j.reports...)
+		}
+		return j.cell, true
+	}
+	return Cell{}, false
+}
+
+// run executes one recorded job with isolated output and telemetry.
+func (j *execJob) run() {
+	opt := j.opt
+	opt.exec = nil
+	var private *metrics.ReportSet
+	if opt.Reports != nil {
+		private = metrics.NewReportSet()
+		opt.Reports = private
+	}
+	var buf bytes.Buffer
+	j.cell = j.spec.execute(opt, &buf)
+	j.out = buf.Bytes()
+	if private != nil {
+		j.reports = private.Reports
+	}
+}
+
+// Execute runs the experiment like Run, fanning the cells across
+// opt.Jobs host cores (default GOMAXPROCS; 1 means the plain sequential
+// path). Output is byte-identical to Run for every Jobs value: cells
+// execute concurrently, but their verbose lines, table cells and
+// telemetry reports are delivered in sequential order.
+func (e Experiment) Execute(opt Options, w io.Writer) Table {
+	jobs := opt.Jobs
+	if jobs == 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs <= 1 {
+		opt.exec = nil
+		return e.Run(opt, w)
+	}
+
+	// Pass 1: record the spec sequence without executing anything.
+	x := &executor{phase: execCollect}
+	opt.exec = x
+	e.Run(opt, nil)
+
+	// Run the recorded cells on the worker pool.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < jobs && k < len(x.jobs); k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				x.jobs[i].run()
+			}
+		}()
+	}
+	for i := range x.jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Pass 2: re-run the figure function, substituting recorded results.
+	x.phase = execFill
+	table := e.Run(opt, w)
+	if x.next != len(x.jobs) {
+		panic(fmt.Sprintf("harness: fill pass consumed %d of %d recorded cells: experiment is not deterministic in its Options", x.next, len(x.jobs)))
+	}
+	return table
+}

@@ -54,6 +54,16 @@ type Options struct {
 	// SampleCap bounds each run's sampled series length (0: recorder
 	// default).
 	SampleCap int
+
+	// Jobs is the host-parallelism degree for Experiment.Execute: how
+	// many experiment cells run concurrently on host cores. 0 defaults
+	// to GOMAXPROCS, 1 forces the plain sequential path. Output is
+	// byte-identical for every value (see Execute).
+	Jobs int
+
+	// exec carries the two-pass parallel executor's state; nil outside
+	// Experiment.Execute.
+	exec *executor
 }
 
 // DefaultOptions returns the standard scaled-down configuration.
@@ -183,6 +193,11 @@ func (s runSpec) model(opt Options, top cluster.Topology) core.ModelFactory {
 // invariant panic, invalid fault scenario) yields a Failed cell instead of
 // tearing down the sweep — the remaining cells still get measured.
 func (s runSpec) execute(opt Options, w io.Writer) Cell {
+	if opt.exec != nil {
+		if cell, handled := opt.exec.intercept(s, opt, w); handled {
+			return cell
+		}
+	}
 	cell, err := s.run(opt, w)
 	if err != nil {
 		if w != nil {

@@ -134,6 +134,14 @@ type Run struct {
 	// byte-identical to pre-balancer output.
 	Migrations     int64 // LPs moved between nodes at GVT commit points
 	MigratedEvents int64 // pending events shipped along with the moves
+
+	// Event-pool counters (core.Config.Pool), zero with PoolOff. Both
+	// are deterministic for a given configuration: PoolNews counts
+	// events allocated fresh because a node's free list was empty,
+	// PoolRecycled counts allocations served from a free list. Excluded
+	// from String().
+	PoolNews     int64
+	PoolRecycled int64
 }
 
 // Efficiency returns committed / processed (the paper's committed over

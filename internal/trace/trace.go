@@ -189,6 +189,13 @@ type Writer struct {
 	w        *bufio.Writer
 	err      error
 	prefaced bool
+	// scratch is the record-encoding buffer. A stack array would escape
+	// (bufio's underlying io.Writer leaks its argument), costing one
+	// heap allocation per record on the commit fast path; encoding into
+	// the Writer instead makes record emission allocation-free. Writers
+	// are driven by the cooperative simulation kernel (one goroutine at
+	// a time), so a single buffer is safe.
+	scratch [64]byte
 	// Counts of written records, for quick sanity checks.
 	Commits    int64
 	Rounds     int64
@@ -223,37 +230,39 @@ func (t *Writer) put(b []byte) {
 
 // Commit appends a committed-event record.
 func (t *Writer) Commit(c Commit) {
-	var b [25]byte
+	b := &t.scratch
 	b[0] = recCommit
 	binary.LittleEndian.PutUint32(b[1:], c.LP)
 	binary.LittleEndian.PutUint64(b[5:], math.Float64bits(c.T))
 	binary.LittleEndian.PutUint32(b[13:], c.Src)
 	binary.LittleEndian.PutUint64(b[17:], c.Seq)
-	t.put(b[:])
+	t.put(b[:25])
 	t.Commits++
 }
 
 // Round appends a GVT-round record.
 func (t *Writer) Round(r Round) {
-	var b [34]byte
+	b := &t.scratch
 	b[0] = recRound
 	binary.LittleEndian.PutUint64(b[1:], uint64(r.Round))
 	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(r.GVT))
 	binary.LittleEndian.PutUint64(b[17:], uint64(r.AtNanos))
+	b[25] = 0 // scratch is reused: conditional bytes need both branches
 	if r.Sync {
 		b[25] = 1
 	}
 	binary.LittleEndian.PutUint64(b[26:], math.Float64bits(r.Efficiency))
-	t.put(b[:])
+	t.put(b[:34])
 	t.Rounds++
 }
 
 // Rollback appends a rollback-episode record.
 func (t *Writer) Rollback(r Rollback) {
-	var b [38]byte
+	b := &t.scratch
 	b[0] = recRollback
 	binary.LittleEndian.PutUint32(b[1:], r.Worker)
 	binary.LittleEndian.PutUint32(b[5:], r.LP)
+	b[9] = 0 // scratch is reused: conditional bytes need both branches
 	if r.Anti {
 		b[9] = 1
 	}
@@ -261,11 +270,11 @@ func (t *Writer) Rollback(r Rollback) {
 	binary.LittleEndian.PutUint64(b[14:], math.Float64bits(r.From))
 	binary.LittleEndian.PutUint64(b[22:], math.Float64bits(r.To))
 	binary.LittleEndian.PutUint64(b[30:], uint64(r.AtNanos))
-	t.put(b[:])
+	t.put(b[:38])
 	t.Rollbacks++
 }
 
-func putMPI(b *[21]byte, kind uint8, src, dst uint16, bytes, depth uint32, at int64) {
+func putMPI(b *[64]byte, kind uint8, src, dst uint16, bytes, depth uint32, at int64) {
 	b[0] = kind
 	binary.LittleEndian.PutUint16(b[1:], src)
 	binary.LittleEndian.PutUint16(b[3:], dst)
@@ -276,47 +285,45 @@ func putMPI(b *[21]byte, kind uint8, src, dst uint16, bytes, depth uint32, at in
 
 // MPISend appends a data-plane send record.
 func (t *Writer) MPISend(m MPISend) {
-	var b [21]byte
-	putMPI(&b, recMPISend, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
-	t.put(b[:])
+	putMPI(&t.scratch, recMPISend, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
+	t.put(t.scratch[:21])
 	t.MPISends++
 }
 
 // MPIRecv appends a data-plane receive record.
 func (t *Writer) MPIRecv(m MPIRecv) {
-	var b [21]byte
-	putMPI(&b, recMPIRecv, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
-	t.put(b[:])
+	putMPI(&t.scratch, recMPIRecv, m.Src, m.Dst, m.Bytes, m.QueueDepth, m.AtNanos)
+	t.put(t.scratch[:21])
 	t.MPIRecvs++
 }
 
 // Phase appends a worker phase-transition record.
 func (t *Writer) Phase(p Phase) {
-	var b [14]byte
+	b := &t.scratch
 	b[0] = recPhase
 	binary.LittleEndian.PutUint32(b[1:], p.Worker)
 	b[5] = p.Phase
 	binary.LittleEndian.PutUint64(b[6:], uint64(p.AtNanos))
-	t.put(b[:])
+	t.put(b[:14])
 	t.Phases++
 }
 
 // Fault appends a fault record.
 func (t *Writer) Fault(f Fault) {
-	var b [22]byte
+	b := &t.scratch
 	b[0] = recFault
 	b[1] = f.Kind
 	binary.LittleEndian.PutUint16(b[2:], f.Src)
 	binary.LittleEndian.PutUint16(b[4:], f.Dst)
 	binary.LittleEndian.PutUint64(b[6:], uint64(f.AtNanos))
 	binary.LittleEndian.PutUint64(b[14:], uint64(f.DelayNanos))
-	t.put(b[:])
+	t.put(b[:22])
 	t.Faults++
 }
 
 // Migration appends an LP-migration record.
 func (t *Writer) Migration(m Migration) {
-	var b [1 + migrationWire]byte
+	b := &t.scratch
 	b[0] = recMigration
 	binary.LittleEndian.PutUint32(b[1:], m.LP)
 	binary.LittleEndian.PutUint16(b[5:], m.SrcNode)
@@ -324,7 +331,7 @@ func (t *Writer) Migration(m Migration) {
 	binary.LittleEndian.PutUint64(b[9:], uint64(m.Round))
 	binary.LittleEndian.PutUint32(b[17:], m.Events)
 	binary.LittleEndian.PutUint64(b[21:], uint64(m.AtNanos))
-	t.put(b[:])
+	t.put(b[:1+migrationWire])
 	t.Migrations++
 }
 
