@@ -1,8 +1,34 @@
 GO ?= go
 
-.PHONY: all build test verify bench benchdiff microbench cover fmt clean
+# serve flags (override on the command line: make serve ADDR=:9090)
+ADDR      ?= :8080
+WORKERS   ?= 0
+QUEUE     ?= 64
+CACHESIZE ?= 64
+
+.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke clean
 
 all: build
+
+help:
+	@echo "Targets:"
+	@echo "  build      compile everything"
+	@echo "  test       run the test suite"
+	@echo "  verify     pre-merge gate: go vet + full suite under -race"
+	@echo "  bench      regenerate BENCH_baseline.json and BENCH_host.json"
+	@echo "  benchdiff  compare a fresh virtual-time baseline against the checked-in one"
+	@echo "  microbench hot-path microbenchmarks (event queue, rollback storm, GVT rounds)"
+	@echo "  cover      coverage profile over ./internal/..."
+	@echo "  serve      run the simulation job server (cmd/simd)"
+	@echo "  smoke      end-to-end service smoke test (scripts/service_smoke.sh)"
+	@echo "  fmt        gofmt the tree"
+	@echo "  clean      remove build and run artifacts"
+	@echo ""
+	@echo "serve flags (make serve ADDR=:9090 WORKERS=4 QUEUE=128 CACHESIZE=256):"
+	@echo "  ADDR       -addr       HTTP listen address            (default :8080)"
+	@echo "  WORKERS    -workers    concurrent simulations         (default 0 = GOMAXPROCS)"
+	@echo "  QUEUE      -queue      bounded job-queue depth        (default 64; full queue -> 429)"
+	@echo "  CACHESIZE  -cachesize  result cache budget in MiB     (default 64; 0 disables)"
 
 build:
 	$(GO) build ./...
@@ -45,6 +71,16 @@ microbench:
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...
 	$(GO) tool cover -func=coverage.out | tail -1
+
+# serve runs the simulation job server. See `make help` for the flags.
+serve:
+	$(GO) run ./cmd/simd -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE) -cachesize $(CACHESIZE)
+
+# smoke starts a throwaway server, submits the same small PHOLD job
+# twice and asserts the second submission is a cache hit with
+# byte-identical report bytes. CI runs this as the service gate.
+smoke:
+	./scripts/service_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,90 @@
+// Command simd serves the simulation engine over HTTP: clients POST a
+// JobSpec to /jobs, stream per-GVT-round progress from
+// /jobs/{id}/events, and fetch the canonical run report from
+// /jobs/{id}/report. Because the engine is deterministic, results are
+// content-addressed by spec hash: re-submitting an identical spec is a
+// cache hit and identical in-flight submissions execute once.
+//
+// Examples:
+//
+//	simd                                   # listen on :8080
+//	simd -addr 127.0.0.1:9090 -workers 4   # four concurrent simulations
+//	simd -cachesize 256 -queue 128         # 256 MiB cache, 128 queued jobs
+//
+// See README.md ("Running as a service") for the curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/simd"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulations executing concurrently")
+		queue     = flag.Int("queue", 64, "bounded queue depth beyond the running jobs; past it submissions get 429")
+		cacheSize = flag.Int64("cachesize", 64, "result cache budget in MiB (0: disable caching)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cacheSize); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, cacheMiB int64) error {
+	cacheBytes := cacheMiB << 20
+	if cacheMiB <= 0 {
+		cacheBytes = -1
+	}
+	svc := simd.NewServer(simd.Options{
+		Workers:    workers,
+		QueueDepth: queue,
+		CacheBytes: cacheBytes,
+	})
+
+	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	fmt.Printf("simd: listening on %s (%d workers, queue %d, cache %d MiB)\n",
+		addr, workers, queue, cacheMiB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err // listener died before any signal
+	case <-ctx.Done():
+		stop() // a second signal kills the process instead of waiting out the drain
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight HTTP
+	// requests finish, then let every admitted job settle.
+	fmt.Println("simd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err := <-errCh; err != nil {
+		return err
+	}
+	return shutdownErr
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	core "repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestProgressHookEveryRound verifies the per-round progress stream: one
+// update per completed GVT round, monotone rounds, cumulative counters
+// consistent with the final report.
+func TestProgressHookEveryRound(t *testing.T) {
+	cfg := testConfig(2, 2, 8, core.GVTMattern, core.CommDedicated)
+	rec := metrics.NewRecorder()
+	var updates []metrics.ProgressUpdate
+	rec.OnProgress = func(u metrics.ProgressUpdate) { updates = append(updates, u) }
+	cfg.Metrics = rec
+	eng := core.New(cfg)
+	r, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(updates)) != r.GVTRounds {
+		t.Fatalf("%d progress updates for %d GVT rounds", len(updates), r.GVTRounds)
+	}
+	for i, u := range updates {
+		if u.Round != int64(i+1) {
+			t.Fatalf("update %d has round %d", i, u.Round)
+		}
+		if u.Committed != u.Processed-u.RolledBack {
+			t.Fatalf("update %d: committed %d != processed %d - rolled %d",
+				i, u.Committed, u.Processed, u.RolledBack)
+		}
+		if i > 0 && u.AtNanos < updates[i-1].AtNanos {
+			t.Fatalf("update %d goes back in virtual time", i)
+		}
+	}
+	last := updates[len(updates)-1]
+	if last.GVT != r.FinalGVT {
+		t.Fatalf("last update GVT %v != final GVT %v", last.GVT, r.FinalGVT)
+	}
+}
+
+// TestProgressStreamDeterministic runs the same configuration twice and
+// requires identical progress streams.
+func TestProgressStreamDeterministic(t *testing.T) {
+	stream := func() []metrics.ProgressUpdate {
+		cfg := testConfig(2, 2, 8, core.GVTControlled, core.CommDedicated)
+		rec := metrics.NewRecorder()
+		var ups []metrics.ProgressUpdate
+		rec.OnProgress = func(u metrics.ProgressUpdate) { ups = append(ups, u) }
+		cfg.Metrics = rec
+		eng := core.New(cfg)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ups
+	}
+	a, b := stream(), stream()
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("update %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEngineCancelMidRun cancels from the progress hook (so the run is
+// provably mid-flight) and expects sim.ErrCancelled.
+func TestEngineCancelMidRun(t *testing.T) {
+	cfg := testConfig(2, 2, 8, core.GVTMattern, core.CommDedicated)
+	rec := metrics.NewRecorder()
+	cfg.Metrics = rec
+	var eng *core.Engine
+	fired := false
+	rec.OnProgress = func(metrics.ProgressUpdate) {
+		if !fired {
+			fired = true
+			eng.Cancel()
+		}
+	}
+	eng = core.New(cfg)
+	r, err := eng.Run()
+	if !errors.Is(err, sim.ErrCancelled) {
+		t.Fatalf("Run returned (%v, %v), want sim.ErrCancelled", r, err)
+	}
+	if !fired {
+		t.Fatal("progress hook never fired")
+	}
+}

@@ -506,6 +506,7 @@ func (e *Engine) nextMatchID() uint64 {
 }
 
 // Run executes the simulation to completion and returns its metrics.
+// When Cancel aborted the run, the error wraps sim.ErrCancelled.
 func (e *Engine) Run() (*stats.Run, error) {
 	for _, nd := range e.nodes {
 		nd.spawn()
@@ -515,6 +516,12 @@ func (e *Engine) Run() (*stats.Run, error) {
 	}
 	return e.collect(), nil
 }
+
+// Cancel requests that a running simulation stop. Safe to call from any
+// goroutine (the one Engine method that is); Run unwinds at the next
+// kernel dispatch boundary and returns sim.ErrCancelled. Cancelling a
+// finished run is a no-op.
+func (e *Engine) Cancel() { e.env.Cancel() }
 
 // collect aggregates the final statistics.
 func (e *Engine) collect() *stats.Run {
@@ -582,9 +589,12 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 	}
 	lvts := e.lvtScratch[:0]
 	var scratch []metrics.WorkerSample
+	wantProgress := false
 	if e.cfg.Metrics != nil {
 		scratch = e.cfg.Metrics.Scratch()
+		wantProgress = e.cfg.Metrics.WantProgress()
 	}
+	var processed, rolled, rollbacks int64
 	for _, nd := range e.nodes {
 		for _, w := range nd.workers {
 			lvt := w.localMinView()
@@ -600,6 +610,11 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 					BarrierWaitNs: int64(w.st.BarrierWait),
 				}
 			}
+			if wantProgress {
+				processed += w.st.Processed
+				rolled += w.st.RolledBack
+				rollbacks += w.st.Rollbacks
+			}
 		}
 	}
 	e.disparity.Observe(lvts)
@@ -613,6 +628,15 @@ func (e *Engine) onRoundComplete(gvt vtime.Time, sync bool, eff float64) {
 			MPIInFlightMsgs: inMsgs, MPIInFlightBytes: inBytes,
 			MPISentMsgs: f.MessagesSent, MPISentBytes: f.BytesSent,
 		}, scratch)
+	}
+	if wantProgress {
+		e.cfg.Metrics.Progress(metrics.ProgressUpdate{
+			Round: e.gvtRounds, GVT: gvt, AtNanos: int64(e.env.Now()),
+			Sync: sync, Efficiency: eff,
+			Processed: processed, Committed: processed - rolled,
+			Rollbacks: rollbacks, RolledBack: rolled,
+			Migrations: e.migrations,
+		})
 	}
 	if e.cfg.Trace != nil {
 		e.cfg.Trace.Round(trace.Round{

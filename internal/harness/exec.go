@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 
 	"repro/internal/metrics"
 )
@@ -121,23 +120,20 @@ func (e Experiment) Execute(opt Options, w io.Writer) Table {
 	opt.exec = x
 	e.Run(opt, nil)
 
-	// Run the recorded cells on the worker pool.
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for k := 0; k < jobs && k < len(x.jobs); k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				x.jobs[i].run()
-			}
-		}()
+	// Run the recorded cells on a worker pool sized to the job count; the
+	// queue holds every cell, so submission never blocks or rejects.
+	workers := jobs
+	if workers > len(x.jobs) {
+		workers = len(x.jobs)
 	}
+	pool := NewPool(workers, len(x.jobs))
 	for i := range x.jobs {
-		work <- i
+		j := &x.jobs[i]
+		if !pool.TrySubmit(j.run) {
+			panic("harness: cell submission rejected by a full-capacity pool")
+		}
 	}
-	close(work)
-	wg.Wait()
+	pool.Close()
 
 	// Pass 2: re-run the figure function, substituting recorded results.
 	x.phase = execFill

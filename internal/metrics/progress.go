@@ -1,0 +1,33 @@
+package metrics
+
+// ProgressUpdate is one per-GVT-round progress notification. Unlike the
+// sampled RoundSample series (which decimates to a bounded buffer), a
+// progress update is delivered for every completed round, so streaming
+// consumers — the simd job service's NDJSON event feed — see the whole
+// run live. All quantities are cumulative since run start and purely
+// virtual-time, so the stream for a given configuration is
+// deterministic.
+type ProgressUpdate struct {
+	Round      int64   `json:"round"`
+	GVT        float64 `json:"gvt"`
+	AtNanos    int64   `json:"at_ns"`
+	Sync       bool    `json:"sync"`
+	Efficiency float64 `json:"efficiency"`
+	Processed  int64   `json:"processed"`
+	Committed  int64   `json:"committed"` // committed-so-far: processed − rolled back
+	Rollbacks  int64   `json:"rollbacks"`
+	RolledBack int64   `json:"rolled_back"`
+	Migrations int64   `json:"migrations"`
+}
+
+// Progress forwards one completed round to the OnProgress hook. The
+// engine calls it from onRoundComplete; it is a no-op without a hook.
+func (r *Recorder) Progress(u ProgressUpdate) {
+	if r.OnProgress != nil {
+		r.OnProgress(u)
+	}
+}
+
+// WantProgress reports whether a progress hook is attached, so the
+// engine can skip assembling updates nobody consumes.
+func (r *Recorder) WantProgress() bool { return r.OnProgress != nil }

@@ -60,6 +60,13 @@ type Recorder struct {
 	// Every is the base sampling stride in GVT rounds (default 1).
 	Every int
 
+	// OnProgress, when non-nil, receives one ProgressUpdate per completed
+	// GVT round, independent of the sampling stride (the sampled series
+	// decimates; the progress stream does not). The engine invokes it
+	// synchronously from the run's goroutine: implementations must be
+	// fast and must do their own locking if they fan out.
+	OnProgress func(ProgressUpdate)
+
 	reg     *Registry
 	stride  int
 	seen    int64 // rounds offered since the stride last changed

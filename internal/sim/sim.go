@@ -12,9 +12,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is virtual time in nanoseconds.
@@ -173,12 +175,39 @@ type Env struct {
 	lastDispatch  Time
 	cbSrc         string         // origin of the callback currently executing
 	sameTimeBy    map[string]int // dispatch counts per origin near the livelock limit
+
+	// stop is the asynchronous cancellation request flag: the only Env
+	// field any goroutine other than the scheduler's may touch. Run polls
+	// it between dispatches and unwinds the simulation when set.
+	stop atomic.Bool
+	// cancelling tells resuming processes to abort instead of continuing.
+	// Written by cancelAll while every process goroutine is parked;
+	// subsequent reads are ordered by each process's resume channel.
+	cancelling bool
 }
 
 // livelockWindow is how many dispatches before the livelock limit the
 // kernel starts attributing events to their origin, so the panic can name
 // the stuck process without charging bookkeeping to healthy runs.
 const livelockWindow = 1024
+
+// ErrCancelled is returned by Run when Cancel aborted the simulation.
+var ErrCancelled = errors.New("sim: run cancelled")
+
+// cancelStride is how many dispatches pass between polls of the stop
+// flag: cancellation latency is bounded by it while the dispatch hot
+// loop pays one atomic load per stride, not per event.
+const cancelStride = 64
+
+// procCancelled is the panic value yield raises to unwind a process
+// during cancellation; the spawn wrapper swallows it.
+type procCancelled struct{}
+
+// Cancel requests that a running (or about-to-run) simulation stop. It
+// is the one Env method safe to call from any goroutine: Run observes
+// the request between dispatches, terminates every simulated process,
+// and returns ErrCancelled. Calling it after Run finished is a no-op.
+func (e *Env) Cancel() { e.stop.Store(true) }
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
@@ -213,15 +242,22 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		<-p.resumeCh
 		// A panic in a process is re-raised in the scheduler's goroutine
 		// (Run's caller) so tests and callers can recover it normally.
+		// The cancellation unwind is the exception: it is the kernel's
+		// own doing and terminates the process silently.
 		defer func() {
 			if r := recover(); r != nil {
-				p.panicked = r
+				if _, ok := r.(procCancelled); !ok {
+					p.panicked = r
+				}
 			}
 			p.state = stateDone
 			p.blockedOn = ""
 			e.live--
 			e.yieldCh <- struct{}{}
 		}()
+		if e.cancelling {
+			return
+		}
 		fn(p)
 	}()
 	p.state = stateRunnable
@@ -283,7 +319,13 @@ func (e *Env) Run() error {
 	if limit <= 0 {
 		limit = 50_000_000
 	}
+	var dispatches uint64
 	for len(e.heap) > 0 {
+		if dispatches%cancelStride == 0 && e.stop.Load() {
+			e.cancelAll()
+			return ErrCancelled
+		}
+		dispatches++
 		ev := e.heap.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
@@ -338,6 +380,22 @@ func (e *Env) Run() error {
 	return nil
 }
 
+// cancelAll unwinds a cancelled simulation: every unfinished process is
+// resumed one final time into a procCancelled panic (or, if it never
+// started, straight past its body), so no goroutine outlives Run. It
+// runs in scheduler context, where every process goroutine is parked on
+// its resume channel.
+func (e *Env) cancelAll() {
+	e.cancelling = true
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.resumeCh <- struct{}{}
+		<-e.yieldCh
+	}
+}
+
 // eventOrigin names the source of a dispatched event for diagnostics.
 func eventOrigin(ev event) string {
 	switch {
@@ -367,6 +425,9 @@ func (e *Env) livelockCulprit() string {
 func (p *Proc) yield() {
 	p.env.yieldCh <- struct{}{}
 	<-p.resumeCh
+	if p.env.cancelling {
+		panic(procCancelled{})
+	}
 	p.state = stateRunning
 }
 

@@ -1,0 +1,243 @@
+package simd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// maxSpecBytes bounds a submitted spec document; anything larger is a
+// client error, not a simulation.
+const maxSpecBytes = 1 << 20
+
+// JobStatus is the wire form of a job's lifecycle state.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	// Deduped counts later identical submissions coalesced onto this job.
+	Deduped int64  `json:"deduped,omitempty"`
+	Rounds  int    `json:"rounds"`
+	Error   string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// status snapshots a job for the wire.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Hash: j.hash, State: j.state, CacheHit: j.cacheHit,
+		Deduped: j.deduped, Rounds: len(j.events), Error: j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// submitResponse is the wire form of a submission outcome.
+type submitResponse struct {
+	JobStatus
+	// CacheHitNow is true when THIS submission was served from the cache
+	// (JobStatus.CacheHit echoes the job's own birth; for a deduped
+	// submission they can differ).
+	CacheHitNow bool `json:"cache_hit_now"`
+	DedupedNow  bool `json:"deduped_now"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /jobs              submit a JobSpec  (202; 200 on cache hit/dedup; 429 full)
+//	GET    /jobs              list job statuses
+//	GET    /jobs/{id}         one job's status
+//	GET    /jobs/{id}/report  the canonical run report        (409 until done)
+//	GET    /jobs/{id}/events  NDJSON per-GVT-round progress stream
+//	DELETE /jobs/{id}         cancel                           (409 if finished)
+//	GET    /stats             service counters
+//	GET    /healthz           liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// httpError is the uniform error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	res, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := submitResponse{
+		JobStatus:   res.Job.status(),
+		CacheHitNow: res.CacheHit,
+		DedupedNow:  res.Deduped,
+	}
+	code := http.StatusAccepted
+	if res.CacheHit || res.Deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// jobFor resolves {id} or answers 404.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	data, ok := j.Report()
+	if !ok {
+		st := j.State()
+		if st == StateFailed || st == StateCancelled {
+			httpError(w, http.StatusConflict, "job %s is %s; no report", j.ID(), st)
+		} else {
+			httpError(w, http.StatusConflict, "job %s is %s; report not ready (stream /jobs/%s/events or retry)", j.ID(), st, j.ID())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Simd-Job", j.ID())
+	w.Header().Set("X-Simd-Hash", j.Hash())
+	w.Write(data)
+}
+
+// progressLine is one NDJSON stream record: the per-round update with a
+// discriminator. The stream's final record is an endLine instead.
+type progressLine struct {
+	Type string `json:"type"` // "progress"
+	metrics.ProgressUpdate
+}
+
+// endLine closes an NDJSON stream with the job's terminal state.
+type endLine struct {
+	Type  string `json:"type"` // "end"
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	ctx := r.Context()
+	cursor := 0
+	for {
+		events, state, done := j.WaitEvents(ctx, cursor)
+		for _, u := range events {
+			enc.Encode(progressLine{Type: "progress", ProgressUpdate: u})
+		}
+		cursor += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			enc.Encode(endLine{Type: "end", State: state, Error: j.Err()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return // client went away
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Cancel(j.ID()); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

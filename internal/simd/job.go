@@ -1,0 +1,232 @@
+package simd
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// State is a job's lifecycle position. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled                      (cancelled before pickup)
+//
+// Cache hits are born done.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func terminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted simulation. All mutable state is guarded by mu;
+// the progress history is append-only, so streamers hold snapshots
+// safely while the run keeps appending.
+type Job struct {
+	id   string
+	hash string
+	spec JobSpec // canonical form
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    State
+	cacheHit bool
+	deduped  int64 // additional submissions coalesced onto this job
+	events   []metrics.ProgressUpdate
+	report   []byte // canonical report JSON, set in StateDone
+	errMsg   string
+
+	eng       *core.Engine // non-nil while the engine may still be cancelled
+	cancelled bool         // cancellation requested
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id, hash string, spec JobSpec) *Job {
+	j := &Job{id: id, hash: hash, spec: spec, state: StateQueued, submitted: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the spec's content address.
+func (j *Job) Hash() string { return j.hash }
+
+// Spec returns the canonical spec the job runs.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// CacheHit reports whether the job was served from the result cache
+// without executing.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Deduped returns how many identical submissions were coalesced onto
+// this job after it was created.
+func (j *Job) Deduped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deduped
+}
+
+// Err returns the failure message ("" unless StateFailed).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// Report returns the canonical report bytes; ok only in StateDone. The
+// slice is shared and must not be modified.
+func (j *Job) Report() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report, j.state == StateDone
+}
+
+// Rounds returns how many progress updates the run has emitted so far.
+func (j *Job) Rounds() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Wait blocks until the job reaches a terminal state or the context is
+// done, and returns the final state.
+func (j *Job) Wait(ctx context.Context) State {
+	stop := context.AfterFunc(ctx, j.wake)
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !terminal(j.state) && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	return j.state
+}
+
+// WaitEvents blocks until progress beyond cursor exists, the job
+// reaches a terminal state, or ctx is done. It returns the new events
+// (which may be empty), the state observed, and whether that state is
+// terminal. Callers advance cursor by len(events) between calls.
+func (j *Job) WaitEvents(ctx context.Context, cursor int) ([]metrics.ProgressUpdate, State, bool) {
+	stop := context.AfterFunc(ctx, j.wake)
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if len(j.events) > cursor {
+			return j.events[cursor:len(j.events):len(j.events)], j.state, terminal(j.state)
+		}
+		if terminal(j.state) {
+			return nil, j.state, true
+		}
+		if ctx.Err() != nil {
+			return nil, j.state, false
+		}
+		j.cond.Wait()
+	}
+}
+
+// wake broadcasts to blocked waiters (used for context cancellation).
+func (j *Job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// publish appends one progress update; the engine calls it once per
+// GVT round via the metrics recorder's OnProgress hook.
+func (j *Job) publish(u metrics.ProgressUpdate) {
+	j.mu.Lock()
+	j.events = append(j.events, u)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// beginRunning moves queued → running unless the job was cancelled
+// while waiting; it reports whether the job should execute.
+func (j *Job) beginRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued || j.cancelled {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// attachEngine exposes a constructed engine to cancellation. If a
+// cancel arrived between beginRunning and construction, the engine is
+// cancelled immediately (the kernel honours pre-run cancellation).
+func (j *Job) attachEngine(e *core.Engine) {
+	j.mu.Lock()
+	j.eng = e
+	cancelled := j.cancelled
+	j.mu.Unlock()
+	if cancelled {
+		e.Cancel()
+	}
+}
+
+// requestCancel asks the job to stop. Queued jobs cancel immediately
+// (the worker skips them at pickup); running jobs get their engine
+// cancelled and settle when the kernel unwinds. It reports whether the
+// request did anything (false: already terminal).
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	var eng *core.Engine
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+	} else {
+		eng = j.eng // may be nil pre-attach; attachEngine re-checks
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	if eng != nil {
+		eng.Cancel()
+	}
+	return true
+}
+
+// finish records a terminal state. report is non-nil only for StateDone.
+func (j *Job) finish(state State, report []byte, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.report = report
+	j.errMsg = errMsg
+	j.eng = nil
+	j.finished = time.Now()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}

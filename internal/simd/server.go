@@ -1,0 +1,294 @@
+package simd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull: admission control refused the job (HTTP 429).
+	ErrQueueFull = errors.New("simd: job queue full")
+	// ErrClosed: the server is draining or closed (HTTP 503).
+	ErrClosed = errors.New("simd: server closed")
+	// ErrNotFound: no job with that id (HTTP 404).
+	ErrNotFound = errors.New("simd: no such job")
+	// ErrFinished: the job already reached a terminal state (HTTP 409).
+	ErrFinished = errors.New("simd: job already finished")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of simulations executing concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the waiting room beyond the running jobs;
+	// submissions past it are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheBytes is the result cache budget in bytes (default 64 MiB;
+	// negative disables caching).
+	CacheBytes int64
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	return o
+}
+
+// Server is the simulation job service: submissions flow through the
+// content-addressed cache, then singleflight coalescing, then the
+// bounded worker pool. See the package comment for why each stage is
+// sound.
+type Server struct {
+	opts  Options
+	pool  *harness.Pool
+	cache *Cache
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // by id
+	order    []*Job          // submission order, for listing
+	inflight map[string]*Job // spec hash → queued/running job (singleflight table)
+	seq      int64
+
+	executions atomic.Int64 // engine runs actually started (cache/dedup bypass this)
+	dedupHits  atomic.Int64 // submissions coalesced onto an in-flight job
+	rejected   atomic.Int64 // submissions refused by admission control
+}
+
+// SubmitResult describes how a submission was satisfied.
+type SubmitResult struct {
+	Job *Job
+	// CacheHit: the result came straight from the cache; the job was born
+	// done and nothing executed.
+	CacheHit bool
+	// Deduped: an identical spec was already in flight; Job is that
+	// existing job, not a new one.
+	Deduped bool
+}
+
+// NewServer starts a job service. Callers must Close it to stop the
+// workers.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:     opts,
+		pool:     harness.NewPool(opts.Workers, opts.QueueDepth),
+		cache:    NewCache(opts.CacheBytes),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+}
+
+// Submit admits one job. The spec is canonicalized and content-hashed;
+// a cached result returns a job born done, an identical in-flight spec
+// returns that job (singleflight), and otherwise the job enters the
+// bounded queue — or is rejected with ErrQueueFull.
+func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
+	canon, err := spec.Canonical()
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	hash, err := canon.canonicalHash()
+	if err != nil {
+		return SubmitResult{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SubmitResult{}, ErrClosed
+	}
+
+	if data, ok := s.cache.Get(hash); ok {
+		j := s.newJobLocked(hash, canon)
+		j.cacheHit = true
+		j.state = StateDone
+		j.report = data
+		j.finished = j.submitted
+		return SubmitResult{Job: j, CacheHit: true}, nil
+	}
+
+	if prior, ok := s.inflight[hash]; ok {
+		prior.mu.Lock()
+		prior.deduped++
+		prior.mu.Unlock()
+		s.dedupHits.Add(1)
+		return SubmitResult{Job: prior, Deduped: true}, nil
+	}
+
+	j := s.newJobLocked(hash, canon)
+	if !s.pool.TrySubmit(func() { s.execute(j) }) {
+		// Roll the record back: a rejected submission leaves no trace.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.seq--
+		s.rejected.Add(1)
+		return SubmitResult{}, ErrQueueFull
+	}
+	s.inflight[hash] = j
+	return SubmitResult{Job: j}, nil
+}
+
+// newJobLocked allocates and records a job; the caller holds s.mu.
+func (s *Server) newJobLocked(hash string, canon JobSpec) *Job {
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), hash, canon)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	return j
+}
+
+// execute runs one job on a pool worker.
+func (s *Server) execute(j *Job) {
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[j.hash] == j {
+			delete(s.inflight, j.hash)
+		}
+		s.mu.Unlock()
+	}()
+	if !j.beginRunning() {
+		return // cancelled while queued
+	}
+
+	report, runErr := s.runEngine(j)
+	switch {
+	case runErr == nil:
+		s.cache.Put(j.hash, report)
+		j.finish(StateDone, report, "")
+	case errors.Is(runErr, sim.ErrCancelled):
+		j.finish(StateCancelled, nil, "")
+	default:
+		j.finish(StateFailed, nil, runErr.Error())
+	}
+}
+
+// runEngine builds and runs the engine for a job, returning the
+// canonical report bytes. Engine panics become errors: one bad job must
+// not take down the service.
+func (s *Server) runEngine(j *Job) (report []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simd: engine panic: %v", r)
+		}
+	}()
+	cfg, err := j.spec.BuildConfig()
+	if err != nil {
+		return nil, err
+	}
+	rec := metrics.NewRecorder()
+	rec.OnProgress = j.publish
+	cfg.Metrics = rec
+
+	eng := core.New(cfg)
+	j.attachEngine(eng)
+	s.executions.Add(1)
+	r, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := eng.Report(r)
+	rep.Config.Label = "simd/" + j.spec.Model
+	return rep.MarshalStable()
+}
+
+// Job returns a job by id.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Cancel requests cancellation of a job: queued jobs cancel instantly,
+// running jobs abort at the kernel's next dispatch boundary.
+func (s *Server) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	if !j.requestCancel() {
+		return ErrFinished
+	}
+	return nil
+}
+
+// Close drains the service: new submissions fail with ErrClosed, every
+// already-admitted job runs (or settles its cancellation), and the
+// workers exit. Safe to call twice.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+}
+
+// Executions returns how many engine runs actually started — the
+// counter the cache-hit acceptance test audits.
+func (s *Server) Executions() int64 { return s.executions.Load() }
+
+// Stats is a point-in-time service snapshot.
+type Stats struct {
+	Workers    int            `json:"workers"`
+	QueueCap   int            `json:"queue_cap"`
+	QueueLen   int            `json:"queue_len"`
+	Jobs       int            `json:"jobs"`
+	ByState    map[string]int `json:"by_state"`
+	Executions int64          `json:"executions"`
+	DedupHits  int64          `json:"dedup_hits"`
+	Rejected   int64          `json:"rejected"`
+	Cache      CacheStats     `json:"cache"`
+}
+
+// Stats returns a snapshot of service accounting.
+func (s *Server) Stats() Stats {
+	ps := s.pool.Stats()
+	s.mu.Lock()
+	by := make(map[string]int, 5)
+	for _, j := range s.order {
+		by[string(j.State())]++
+	}
+	n := len(s.order)
+	s.mu.Unlock()
+	return Stats{
+		Workers: ps.Workers, QueueCap: ps.QueueCap, QueueLen: ps.QueueLen,
+		Jobs: n, ByState: by,
+		Executions: s.executions.Load(),
+		DedupHits:  s.dedupHits.Load(),
+		Rejected:   s.rejected.Load(),
+		Cache:      s.cache.Stats(),
+	}
+}

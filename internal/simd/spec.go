@@ -1,0 +1,401 @@
+package simd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/models/epidemic"
+	"repro/internal/models/pcs"
+	"repro/internal/models/tandem"
+	"repro/internal/phold"
+	"repro/internal/sim"
+	"repro/internal/vtime"
+)
+
+// JobSpec is the canonical description of one simulation job: model,
+// topology, GVT algorithm and the engine knobs a run is a pure function
+// of. Zero values mean "service default"; Canonical resolves them, so
+// a spec that omits a field and a spec that states the default hash to
+// the same content address.
+//
+// Every field is semantic: after canonicalization, two specs with equal
+// fields produce byte-identical run reports, and any field change that
+// survives canonicalization changes the result.
+type JobSpec struct {
+	// Model selects the workload: phold (default) | pcs | epidemic | tandem.
+	Model string `json:"model,omitempty"`
+	// Scenario is the PHOLD workload shape: comp (default) | comm | mixed.
+	// Cleared for non-PHOLD models (it has no meaning there).
+	Scenario string `json:"scenario,omitempty"`
+	// MixComp/MixComm are the mixed scenario's X–Y percentages (defaults
+	// 10/15). Cleared unless Scenario is "mixed".
+	MixComp float64 `json:"mix_comp,omitempty"`
+	MixComm float64 `json:"mix_comm,omitempty"`
+
+	// Topology. Defaults: 2 nodes × 4 workers × 8 LPs.
+	Nodes          int `json:"nodes,omitempty"`
+	WorkersPerNode int `json:"workers_per_node,omitempty"`
+	LPsPerWorker   int `json:"lps_per_worker,omitempty"`
+
+	// GVT selects the algorithm: barrier | mattern (default) | ca-gvt |
+	// samadi ("ca" and "cagvt" are accepted aliases).
+	GVT string `json:"gvt,omitempty"`
+	// Comm is the MPI servicing mode: dedicated (default) | combined | shared.
+	Comm string `json:"comm,omitempty"`
+	// GVTInterval is the main-loop passes between GVT rounds (default 4).
+	GVTInterval int `json:"gvt_interval,omitempty"`
+	// CAThreshold is CA-GVT's efficiency threshold (default 0.80). Pinned
+	// to the default for non-CA algorithms, where it is inert.
+	CAThreshold float64 `json:"ca_threshold,omitempty"`
+
+	// EndTime is the virtual end time (default 20).
+	EndTime float64 `json:"end_time,omitempty"`
+	// Seed is the master RNG seed; 0 means the default seed 1.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Engine knobs, as in core.Config: Queue heap (default) | calendar;
+	// Pool on (default) | off | debug; BatchSize default 16;
+	// CheckpointInterval default 1; MaxUncommitted default 8×LPsPerWorker
+	// (negative: unbounded).
+	Queue              string `json:"queue,omitempty"`
+	Pool               string `json:"pool,omitempty"`
+	BatchSize          int    `json:"batch_size,omitempty"`
+	CheckpointInterval int    `json:"checkpoint_interval,omitempty"`
+	MaxUncommitted     int    `json:"max_uncommitted,omitempty"`
+
+	// Faults names a fabric fault scenario ("" or "none": perfect fabric).
+	Faults string `json:"faults,omitempty"`
+	// Balance names the LP load-balancing policy ("", "static" or "none":
+	// static placement).
+	Balance string `json:"balance,omitempty"`
+	// WatchdogMicros is the GVT liveness watchdog timeout in virtual µs
+	// (0: auto — enabled only under faults).
+	WatchdogMicros int64 `json:"watchdog_us,omitempty"`
+}
+
+// Service-side admission caps: the job server refuses specs that would
+// monopolize a worker for an unreasonable time. Generous enough for
+// every experiment in EXPERIMENTS.md.
+const (
+	maxTotalLPs = 1 << 16
+	maxNodes    = 64
+	maxEndTime  = 1e5
+)
+
+// Canonical returns the spec in canonical form: names lowercased and
+// de-aliased, defaults made explicit, fields without meaning for the
+// chosen model/algorithm cleared or pinned. It is idempotent —
+// Canonical(Canonical(s)) == Canonical(s) — and rejects invalid specs.
+func (s JobSpec) Canonical() (JobSpec, error) {
+	c := s
+	norm := func(v string) string { return strings.ToLower(strings.TrimSpace(v)) }
+
+	switch c.Model = norm(c.Model); c.Model {
+	case "":
+		c.Model = "phold"
+	case "phold", "pcs", "epidemic", "tandem":
+	default:
+		return c, fmt.Errorf("simd: unknown model %q (want phold | pcs | epidemic | tandem)", c.Model)
+	}
+
+	if c.Model == "phold" {
+		switch c.Scenario = norm(c.Scenario); c.Scenario {
+		case "":
+			c.Scenario = "comp"
+		case "comp", "comm", "mixed":
+		default:
+			return c, fmt.Errorf("simd: unknown scenario %q (want comp | comm | mixed)", c.Scenario)
+		}
+	} else {
+		c.Scenario = ""
+	}
+	if c.Model == "phold" && c.Scenario == "mixed" {
+		if c.MixComp == 0 {
+			c.MixComp = 10
+		}
+		if c.MixComm == 0 {
+			c.MixComm = 15
+		}
+		if c.MixComp <= 0 || c.MixComm <= 0 || c.MixComp+c.MixComm > 100 {
+			return c, fmt.Errorf("simd: mixed fractions %v/%v must be positive and sum to <= 100", c.MixComp, c.MixComm)
+		}
+	} else {
+		c.MixComp, c.MixComm = 0, 0
+	}
+
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = 4
+	}
+	if c.LPsPerWorker == 0 {
+		c.LPsPerWorker = 8
+	}
+	top := cluster.Topology{Nodes: c.Nodes, WorkersPerNode: c.WorkersPerNode, LPsPerWorker: c.LPsPerWorker}
+	if err := top.Validate(); err != nil {
+		return c, err
+	}
+	if c.Nodes > maxNodes {
+		return c, fmt.Errorf("simd: %d nodes exceeds the service cap of %d", c.Nodes, maxNodes)
+	}
+	if top.TotalLPs() > maxTotalLPs {
+		return c, fmt.Errorf("simd: %d total LPs exceeds the service cap of %d", top.TotalLPs(), maxTotalLPs)
+	}
+
+	switch c.GVT = norm(c.GVT); c.GVT {
+	case "":
+		c.GVT = "mattern"
+	case "ca", "cagvt":
+		c.GVT = "ca-gvt"
+	case "barrier", "mattern", "ca-gvt", "samadi":
+	default:
+		return c, fmt.Errorf("simd: unknown gvt %q (want barrier | mattern | ca-gvt | samadi)", c.GVT)
+	}
+	switch c.Comm = norm(c.Comm); c.Comm {
+	case "":
+		c.Comm = "dedicated"
+	case "dedicated", "combined", "shared":
+	default:
+		return c, fmt.Errorf("simd: unknown comm %q (want dedicated | combined | shared)", c.Comm)
+	}
+	if c.GVTInterval == 0 {
+		c.GVTInterval = 4
+	}
+	if c.GVTInterval < 2 {
+		return c, fmt.Errorf("simd: gvt_interval must be >= 2, got %d", c.GVTInterval)
+	}
+	if c.GVT == "ca-gvt" {
+		if c.CAThreshold == 0 {
+			c.CAThreshold = 0.80
+		}
+		if c.CAThreshold < 0 || c.CAThreshold > 1 {
+			return c, fmt.Errorf("simd: ca_threshold must be in [0,1], got %v", c.CAThreshold)
+		}
+	} else {
+		// Inert for non-CA algorithms: pin it so it cannot split the hash.
+		c.CAThreshold = 0.80
+	}
+
+	if c.EndTime == 0 {
+		c.EndTime = 20
+	}
+	if c.EndTime < 0 || math.IsNaN(c.EndTime) || math.IsInf(c.EndTime, 0) {
+		return c, fmt.Errorf("simd: end_time must be positive and finite, got %v", c.EndTime)
+	}
+	if c.EndTime > maxEndTime {
+		return c, fmt.Errorf("simd: end_time %v exceeds the service cap of %v", c.EndTime, float64(maxEndTime))
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+
+	switch c.Queue = norm(c.Queue); c.Queue {
+	case "":
+		c.Queue = "heap"
+	case "heap", "calendar":
+	default:
+		return c, fmt.Errorf("simd: unknown queue %q (want heap | calendar)", c.Queue)
+	}
+	switch c.Pool = norm(c.Pool); c.Pool {
+	case "":
+		c.Pool = "on"
+	case "on", "off", "debug":
+	default:
+		return c, fmt.Errorf("simd: unknown pool %q (want on | off | debug)", c.Pool)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchSize < 0 {
+		return c, fmt.Errorf("simd: batch_size must be positive, got %d", c.BatchSize)
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 1
+	}
+	if c.CheckpointInterval < 0 {
+		return c, fmt.Errorf("simd: checkpoint_interval must be positive, got %d", c.CheckpointInterval)
+	}
+	if c.MaxUncommitted == 0 {
+		c.MaxUncommitted = 8 * c.LPsPerWorker
+	}
+	if c.MaxUncommitted < 0 {
+		c.MaxUncommitted = -1 // all negatives mean the same thing: unbounded
+	}
+
+	switch c.Faults = norm(c.Faults); c.Faults {
+	case "none":
+		c.Faults = ""
+	default:
+		if _, err := fabric.Scenario(c.Faults, c.Nodes); err != nil {
+			return c, err
+		}
+	}
+	switch c.Balance = norm(c.Balance); c.Balance {
+	case "static", "none":
+		c.Balance = ""
+	default:
+		if _, err := balance.New(c.Balance, balance.Options{}); err != nil {
+			return c, err
+		}
+	}
+	if c.WatchdogMicros < 0 {
+		return c, fmt.Errorf("simd: watchdog_us must be >= 0, got %d", c.WatchdogMicros)
+	}
+	return c, nil
+}
+
+// Hash canonicalizes the spec and returns its content address: the
+// SHA-256 of the canonical JSON encoding, in hex. Because the engine is
+// deterministic, the hash addresses not just the spec but the result.
+func (s JobSpec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return c.canonicalHash()
+}
+
+// canonicalHash hashes an already-canonical spec.
+func (c JobSpec) canonicalHash() (string, error) {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	canon, err := metrics.CanonicalJSON(raw)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// BuildConfig turns the spec into an engine configuration. The spec is
+// canonicalized first; the returned config passes core validation.
+func (s JobSpec) BuildConfig() (core.Config, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return core.Config{}, err
+	}
+	top := cluster.Topology{Nodes: c.Nodes, WorkersPerNode: c.WorkersPerNode, LPsPerWorker: c.LPsPerWorker}
+
+	var kind core.GVTKind
+	switch c.GVT {
+	case "barrier":
+		kind = core.GVTBarrier
+	case "mattern":
+		kind = core.GVTMattern
+	case "ca-gvt":
+		kind = core.GVTControlled
+	case "samadi":
+		kind = core.GVTSamadi
+	}
+	var cm core.CommMode
+	switch c.Comm {
+	case "dedicated":
+		cm = core.CommDedicated
+	case "combined":
+		cm = core.CommCombined
+	case "shared":
+		cm = core.CommShared
+	}
+	var pm core.PoolMode
+	switch c.Pool {
+	case "on":
+		pm = core.PoolOn
+	case "off":
+		pm = core.PoolOff
+	case "debug":
+		pm = core.PoolDebug
+	}
+
+	model, err := c.modelFactory(top)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Topology:           top,
+		GVT:                kind,
+		GVTInterval:        c.GVTInterval,
+		CAThreshold:        c.CAThreshold,
+		Comm:               cm,
+		EndTime:            vtime.Time(c.EndTime),
+		Seed:               c.Seed,
+		Pool:               pm,
+		QueueKind:          c.Queue,
+		BatchSize:          c.BatchSize,
+		CheckpointInterval: c.CheckpointInterval,
+		MaxUncommitted:     c.MaxUncommitted,
+		Balance:            c.Balance,
+		Model:              model,
+	}
+	if c.Faults != "" {
+		plan, err := fabric.Scenario(c.Faults, c.Nodes)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Faults = plan
+		cfg.FaultLabel = c.Faults
+	}
+	if c.WatchdogMicros > 0 {
+		cfg.WatchdogTimeout = sim.Time(c.WatchdogMicros) * sim.Microsecond
+	}
+	if err := func() error { v := cfg; v.Defaults(); return v.Validate() }(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// modelFactory builds the model for an already-canonical spec.
+func (c JobSpec) modelFactory(top cluster.Topology) (core.ModelFactory, error) {
+	switch c.Model {
+	case "phold":
+		params := phold.Params{Topology: top}
+		comp, comm := phold.ComputationDominated(), phold.CommunicationDominated()
+		if c.Nodes == 1 {
+			comp.RemotePct, comm.RemotePct = 0, 0
+		}
+		switch c.Scenario {
+		case "comp":
+			params.Base = comp
+		case "comm":
+			params.Base = comm
+		case "mixed":
+			params.Base = comp
+			params.Mixed = &phold.MixedModel{
+				Comm: comm, CompFrac: c.MixComp, CommFrac: c.MixComm,
+				EndTime: vtime.Time(c.EndTime),
+			}
+		}
+		return phold.New(params), nil
+	case "pcs":
+		w, h := nearSquareGrid(top.TotalLPs())
+		return pcs.New(pcs.Params{GridW: w, GridH: h}), nil
+	case "epidemic":
+		w, h := nearSquareGrid(top.TotalLPs())
+		return epidemic.New(epidemic.Params{GridW: w, GridH: h}), nil
+	case "tandem":
+		return tandem.New(tandem.Params{}), nil
+	}
+	return nil, fmt.Errorf("simd: unknown model %q", c.Model)
+}
+
+// nearSquareGrid factors n into the most-square w×h with w >= h, for
+// the grid-structured models.
+func nearSquareGrid(n int) (w, h int) {
+	for d := int(math.Sqrt(float64(n))); d >= 1; d-- {
+		if n%d == 0 {
+			return n / d, d
+		}
+	}
+	return n, 1
+}

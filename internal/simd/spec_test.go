@@ -1,0 +1,230 @@
+package simd
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustHash(t *testing.T, s JobSpec) string {
+	t.Helper()
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatalf("Hash(%+v): %v", s, err)
+	}
+	return h
+}
+
+// TestHashIgnoresJSONFieldOrder decodes two documents whose fields are
+// permuted and expects identical content addresses.
+func TestHashIgnoresJSONFieldOrder(t *testing.T) {
+	a := `{"model":"phold","nodes":2,"gvt":"mattern","seed":7,"end_time":10}`
+	b := `{"seed":7,"end_time":10,"gvt":"mattern","model":"phold","nodes":2}`
+	var sa, sb JobSpec
+	if err := json.Unmarshal([]byte(a), &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if mustHash(t, sa) != mustHash(t, sb) {
+		t.Fatal("field order changed the hash")
+	}
+}
+
+// TestHashOmittedEqualsExplicitDefaults is the canonicalization
+// contract: stating a default is the same as omitting it.
+func TestHashOmittedEqualsExplicitDefaults(t *testing.T) {
+	minimal := JobSpec{}
+	explicit := JobSpec{
+		Model: "phold", Scenario: "comp",
+		Nodes: 2, WorkersPerNode: 4, LPsPerWorker: 8,
+		GVT: "mattern", Comm: "dedicated", GVTInterval: 4, CAThreshold: 0.80,
+		EndTime: 20, Seed: 1, Queue: "heap", Pool: "on",
+		BatchSize: 16, CheckpointInterval: 1, MaxUncommitted: 64,
+	}
+	if mustHash(t, minimal) != mustHash(t, explicit) {
+		t.Fatal("explicit defaults hash differently from omitted fields")
+	}
+}
+
+// TestHashAliasesCollapse: alias spellings are not semantic.
+func TestHashAliasesCollapse(t *testing.T) {
+	base := JobSpec{GVT: "ca-gvt"}
+	for _, alias := range []string{"ca", "cagvt", "CA-GVT", " ca "} {
+		if mustHash(t, base) != mustHash(t, JobSpec{GVT: alias}) {
+			t.Fatalf("alias %q hashes differently from ca-gvt", alias)
+		}
+	}
+	if mustHash(t, JobSpec{Faults: "none"}) != mustHash(t, JobSpec{}) {
+		t.Fatal(`faults "none" is not the fault-free default`)
+	}
+	if mustHash(t, JobSpec{Balance: "static"}) != mustHash(t, JobSpec{}) ||
+		mustHash(t, JobSpec{Balance: "none"}) != mustHash(t, JobSpec{}) {
+		t.Fatal(`balance "static"/"none" is not the static default`)
+	}
+	if mustHash(t, JobSpec{Model: "PHOLD"}) != mustHash(t, JobSpec{}) {
+		t.Fatal("model is case-sensitive")
+	}
+}
+
+// TestHashClearsInertFields: fields without meaning for the chosen
+// model or algorithm must not split the address space.
+func TestHashClearsInertFields(t *testing.T) {
+	if mustHash(t, JobSpec{Model: "pcs"}) != mustHash(t, JobSpec{Model: "pcs", Scenario: "comm"}) {
+		t.Fatal("scenario split the hash for a non-phold model")
+	}
+	if mustHash(t, JobSpec{GVT: "mattern", CAThreshold: 0.5}) != mustHash(t, JobSpec{GVT: "mattern"}) {
+		t.Fatal("ca_threshold split the hash for a non-CA algorithm")
+	}
+	if mustHash(t, JobSpec{Scenario: "comp", MixComp: 30}) != mustHash(t, JobSpec{Scenario: "comp"}) {
+		t.Fatal("mix fractions split the hash outside the mixed scenario")
+	}
+}
+
+// TestHashChangesWithEverySemanticField mutates each semantic field and
+// expects a fresh address every time.
+func TestHashChangesWithEverySemanticField(t *testing.T) {
+	base := JobSpec{Scenario: "mixed"} // mixed so the mix fields are live
+	seen := map[string]string{"base": mustHash(t, base)}
+	add := func(name string, s JobSpec) {
+		h := mustHash(t, s)
+		for prev, ph := range seen {
+			if ph == h {
+				t.Fatalf("mutation %q collides with %q", name, prev)
+			}
+		}
+		seen[name] = h
+	}
+	add("model", JobSpec{Model: "pcs"})
+	add("scenario", JobSpec{Scenario: "comm"})
+	add("mix_comp", JobSpec{Scenario: "mixed", MixComp: 20})
+	add("mix_comm", JobSpec{Scenario: "mixed", MixComm: 20})
+	add("nodes", JobSpec{Scenario: "mixed", Nodes: 4})
+	add("workers", JobSpec{Scenario: "mixed", WorkersPerNode: 2})
+	add("lps", JobSpec{Scenario: "mixed", LPsPerWorker: 16})
+	add("gvt", JobSpec{Scenario: "mixed", GVT: "barrier"})
+	add("comm", JobSpec{Scenario: "mixed", Comm: "shared"})
+	add("interval", JobSpec{Scenario: "mixed", GVTInterval: 8})
+	add("threshold", JobSpec{Scenario: "mixed", GVT: "ca"})
+	add("threshold2", JobSpec{Scenario: "mixed", GVT: "ca", CAThreshold: 0.5})
+	add("end", JobSpec{Scenario: "mixed", EndTime: 30})
+	add("seed", JobSpec{Scenario: "mixed", Seed: 99})
+	add("queue", JobSpec{Scenario: "mixed", Queue: "calendar"})
+	add("pool", JobSpec{Scenario: "mixed", Pool: "off"})
+	add("batch", JobSpec{Scenario: "mixed", BatchSize: 8})
+	add("checkpoint", JobSpec{Scenario: "mixed", CheckpointInterval: 4})
+	add("uncommitted", JobSpec{Scenario: "mixed", MaxUncommitted: 128})
+	add("faults", JobSpec{Scenario: "mixed", Faults: "drop"})
+	add("balance", JobSpec{Scenario: "mixed", Balance: "greedy"})
+	add("watchdog", JobSpec{Scenario: "mixed", WatchdogMicros: 500})
+}
+
+// TestCanonicalIdempotent: canonicalizing twice is a fixed point.
+func TestCanonicalIdempotent(t *testing.T) {
+	specs := []JobSpec{
+		{},
+		{Model: "EPIDEMIC", GVT: "CA", Faults: "NONE", Balance: "Static"},
+		{Scenario: "mixed", MaxUncommitted: -5},
+	}
+	for _, s := range specs {
+		once, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical(%+v): %v", s, err)
+		}
+		twice, err := once.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical^2(%+v): %v", s, err)
+		}
+		if once != twice {
+			t.Fatalf("not idempotent:\nonce  %+v\ntwice %+v", once, twice)
+		}
+	}
+}
+
+// TestCanonicalRejects enumerates invalid specs.
+func TestCanonicalRejects(t *testing.T) {
+	bad := map[string]JobSpec{
+		"model":          {Model: "chess"},
+		"scenario":       {Scenario: "storm"},
+		"gvt":            {GVT: "quantum"},
+		"comm":           {Comm: "telepathy"},
+		"queue":          {Queue: "stack"},
+		"pool":           {Pool: "maybe"},
+		"faults":         {Faults: "asteroid"},
+		"balance":        {Balance: "chaotic"},
+		"interval":       {GVTInterval: 1},
+		"threshold":      {GVT: "ca", CAThreshold: 1.5},
+		"mix-sum":        {Scenario: "mixed", MixComp: 60, MixComm: 60},
+		"neg-end":        {EndTime: -1},
+		"end-cap":        {EndTime: 1e9},
+		"node-cap":       {Nodes: 1000},
+		"lp-cap":         {Nodes: 64, WorkersPerNode: 64, LPsPerWorker: 4096},
+		"neg-watchdog":   {WatchdogMicros: -1},
+		"neg-nodes":      {Nodes: -2},
+		"neg-batch":      {BatchSize: -1},
+		"neg-interval":   {GVTInterval: -3},
+		"neg-checkpt":    {CheckpointInterval: -2},
+		"mixed-nonsense": {Scenario: "mixed", MixComp: -1, MixComm: 5},
+	}
+	for name, s := range bad {
+		if _, err := s.Canonical(); err == nil {
+			t.Errorf("%s: invalid spec %+v accepted", name, s)
+		}
+		if _, err := s.Hash(); err == nil {
+			t.Errorf("%s: invalid spec %+v hashed", name, s)
+		}
+	}
+}
+
+// TestBuildConfigAllModels: every model builds a valid engine config.
+func TestBuildConfigAllModels(t *testing.T) {
+	for _, model := range []string{"phold", "pcs", "epidemic", "tandem"} {
+		spec := JobSpec{Model: model, Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 8, EndTime: 5}
+		cfg, err := spec.BuildConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if cfg.Model == nil {
+			t.Fatalf("%s: nil model factory", model)
+		}
+		if cfg.Topology.TotalLPs() != 32 {
+			t.Fatalf("%s: topology %+v", model, cfg.Topology)
+		}
+	}
+	// Scenario and fault plumbing.
+	spec := JobSpec{Scenario: "mixed", Faults: "drop", WatchdogMicros: 100}
+	cfg, err := spec.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil || cfg.FaultLabel != "drop" {
+		t.Fatal("fault plan not installed")
+	}
+	if cfg.WatchdogTimeout <= 0 {
+		t.Fatal("watchdog timeout not installed")
+	}
+	if _, err := (JobSpec{Model: "warp10"}).BuildConfig(); err == nil {
+		t.Fatal("invalid spec built a config")
+	}
+}
+
+func TestNearSquareGrid(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 12, 32, 128, 1024, 97} {
+		w, h := nearSquareGrid(n)
+		if w*h != n || w < h || h < 1 {
+			t.Fatalf("grid(%d) = %dx%d", n, w, h)
+		}
+	}
+	if w, h := nearSquareGrid(128); w != 16 || h != 8 {
+		t.Fatalf("grid(128) = %dx%d, want 16x8", w, h)
+	}
+}
+
+// TestHashIsHex: the content address is a full SHA-256 hex string.
+func TestHashIsHex(t *testing.T) {
+	h := mustHash(t, JobSpec{})
+	if len(h) != 64 || strings.Trim(h, "0123456789abcdef") != "" {
+		t.Fatalf("hash %q is not 64 hex chars", h)
+	}
+}

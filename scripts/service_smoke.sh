@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the simulation job service (cmd/simd):
+# start the daemon, submit the same small PHOLD job twice, and assert
+#   - both submissions succeed over HTTP,
+#   - the two run reports are byte-identical,
+#   - the second submission is served from the result cache
+#     (cache_hit_now=true and the engine executed exactly once),
+#   - the full NDJSON event stream replays and terminates with "end",
+#   - SIGTERM shuts the daemon down cleanly.
+# Needs: go, curl, jq. Used by `make smoke` and the CI service job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SPEC='{"model":"phold","nodes":2,"workers_per_node":2,"lps_per_worker":8,"end_time":10,"seed":42}'
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  [[ -n "${SIMD_PID:-}" ]] && kill "${SIMD_PID}" 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "smoke: building cmd/simd"
+go build -o "${WORK}/simd" ./cmd/simd
+
+echo "smoke: starting simd on ${BASE}"
+"${WORK}/simd" -addr "127.0.0.1:${PORT}" -workers 2 -cachesize 16 >"${WORK}/simd.log" 2>&1 &
+SIMD_PID=$!
+
+for i in $(seq 1 100); do
+  curl -sf "${BASE}/healthz" >/dev/null 2>&1 && break
+  kill -0 "${SIMD_PID}" 2>/dev/null || { cat "${WORK}/simd.log" >&2; fail "daemon died on startup"; }
+  [[ "$i" == 100 ]] && fail "daemon never became healthy"
+  sleep 0.1
+done
+
+# --- first submission: executes for real -----------------------------
+CODE1=$(curl -s -o "${WORK}/sub1.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d "${SPEC}" "${BASE}/jobs")
+[[ "${CODE1}" == 202 ]] || fail "first submit returned HTTP ${CODE1} (want 202): $(cat "${WORK}/sub1.json")"
+ID1=$(jq -r .id "${WORK}/sub1.json")
+echo "smoke: submitted ${ID1}"
+
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "${BASE}/jobs/${ID1}" | jq -r .state)
+  [[ "${STATE}" == done ]] && break
+  [[ "${STATE}" == failed || "${STATE}" == cancelled ]] && fail "job ${ID1} settled as ${STATE}"
+  [[ "$i" == 300 ]] && fail "job ${ID1} never finished (state ${STATE})"
+  sleep 0.1
+done
+echo "smoke: ${ID1} done"
+
+CODE=$(curl -s -o "${WORK}/report1.json" -w '%{http_code}' "${BASE}/jobs/${ID1}/report")
+[[ "${CODE}" == 200 ]] || fail "report fetch returned HTTP ${CODE}"
+jq -e . "${WORK}/report1.json" >/dev/null || fail "report is not valid JSON"
+
+# --- event stream: full replay ends with an "end" record -------------
+curl -sf "${BASE}/jobs/${ID1}/events" >"${WORK}/events.ndjson"
+PROGRESS=$(grep -c '"type":"progress"' "${WORK}/events.ndjson") || true
+tail -1 "${WORK}/events.ndjson" | jq -e '.type == "end" and .state == "done"' >/dev/null \
+  || fail "event stream did not end cleanly: $(tail -1 "${WORK}/events.ndjson")"
+[[ "${PROGRESS}" -gt 0 ]] || fail "event stream replayed no progress lines"
+echo "smoke: event stream replayed ${PROGRESS} rounds"
+
+# --- second submission: must be a cache hit, not a re-run ------------
+CODE2=$(curl -s -o "${WORK}/sub2.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d "${SPEC}" "${BASE}/jobs")
+[[ "${CODE2}" == 200 ]] || fail "second submit returned HTTP ${CODE2} (want 200 cache hit): $(cat "${WORK}/sub2.json")"
+jq -e '.cache_hit_now == true and .state == "done"' "${WORK}/sub2.json" >/dev/null \
+  || fail "second submit was not a cache hit: $(cat "${WORK}/sub2.json")"
+ID2=$(jq -r .id "${WORK}/sub2.json")
+
+CODE=$(curl -s -o "${WORK}/report2.json" -w '%{http_code}' "${BASE}/jobs/${ID2}/report")
+[[ "${CODE}" == 200 ]] || fail "cached report fetch returned HTTP ${CODE}"
+cmp -s "${WORK}/report1.json" "${WORK}/report2.json" \
+  || fail "cached report is not byte-identical to the executed one"
+
+EXECS=$(curl -sf "${BASE}/stats" | jq -r .executions)
+[[ "${EXECS}" == 1 ]] || fail "engine executed ${EXECS} times (want exactly 1)"
+echo "smoke: cache hit verified (1 execution, byte-identical reports)"
+
+# --- graceful shutdown ----------------------------------------------
+kill -TERM "${SIMD_PID}"
+for i in $(seq 1 100); do
+  kill -0 "${SIMD_PID}" 2>/dev/null || break
+  [[ "$i" == 100 ]] && fail "daemon ignored SIGTERM"
+  sleep 0.1
+done
+wait "${SIMD_PID}" || fail "daemon exited non-zero"
+SIMD_PID=""
+echo "smoke: PASS"
