@@ -6,7 +6,7 @@ WORKERS   ?= 0
 QUEUE     ?= 64
 CACHESIZE ?= 64
 
-.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke clean
+.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke obs-smoke clean
 
 all: build
 
@@ -21,6 +21,7 @@ help:
 	@echo "  cover      coverage profile over ./internal/..."
 	@echo "  serve      run the simulation job server (cmd/simd)"
 	@echo "  smoke      end-to-end service smoke test (scripts/service_smoke.sh)"
+	@echo "  obs-smoke  observability smoke test: live /metrics, flight recorder, pprof, simtop (scripts/obs_smoke.sh)"
 	@echo "  fmt        gofmt the tree"
 	@echo "  clean      remove build and run artifacts"
 	@echo ""
@@ -81,6 +82,13 @@ serve:
 # byte-identical report bytes. CI runs this as the service gate.
 smoke:
 	./scripts/service_smoke.sh
+
+# obs-smoke exercises the observability surface against a live daemon:
+# mid-run /metrics scrape, flight recorder of a cancelled job, the
+# -debug-addr pprof listener, simtop, and structured-log shape. CI runs
+# it alongside `smoke` in the service gate.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -14,11 +14,13 @@ package repro
 import (
 	"io"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/phold"
 	"repro/internal/seq"
 	"repro/internal/stats"
@@ -293,6 +295,51 @@ func BenchmarkTelemetry(b *testing.B) {
 		var r *stats.Run
 		for i := 0; i < b.N; i++ {
 			r = telemetryRun(b, metrics.NewRecorder(), trace.NewWriter(io.Discard))
+		}
+		check(b, r)
+	})
+	// progress+bridge reproduces the simd daemon's live-metrics path: a
+	// per-round OnProgress hook that folds deltas into an atomic
+	// Prometheus-style registry and appends to a mutex-guarded stream
+	// history (what Job.publish does). The <5% bound gates the
+	// observability bridge the same way it gates the sampler.
+	b.Run("progress+bridge", func(b *testing.B) {
+		b.ReportAllocs()
+		var r *stats.Run
+		for i := 0; i < b.N; i++ {
+			reg := obs.NewRegistry()
+			rounds := reg.Counter("simd_engine_gvt_rounds_total", "")
+			processed := reg.Counter("simd_engine_events_processed_total", "")
+			committed := reg.Counter("simd_engine_events_committed_total", "")
+			rollbacks := reg.Counter("simd_engine_rollbacks_total", "")
+			advance := reg.Histogram("simd_engine_gvt_advance", "", obs.ExpBuckets(0.0625, 2, 12))
+			var mu sync.Mutex
+			var history []metrics.ProgressUpdate
+			var prev metrics.ProgressUpdate
+			rec := metrics.NewRecorder()
+			clamp := func(v int64) int64 {
+				if v < 0 {
+					return 0
+				}
+				return v
+			}
+			rec.OnProgress = func(u metrics.ProgressUpdate) {
+				rounds.Inc()
+				processed.Add(clamp(u.Processed - prev.Processed))
+				committed.Add(clamp(u.Committed - prev.Committed))
+				rollbacks.Add(clamp(u.Rollbacks - prev.Rollbacks))
+				if d := u.GVT - prev.GVT; d >= 0 {
+					advance.Observe(d)
+				}
+				prev = u
+				mu.Lock()
+				history = append(history, u)
+				mu.Unlock()
+			}
+			r = telemetryRun(b, rec, nil)
+			if len(history) == 0 || rounds.Value() == 0 {
+				b.Fatal("progress bridge never fired")
+			}
 		}
 		check(b, r)
 	})

@@ -5,13 +5,24 @@
 // content-addressed by spec hash: re-submitting an identical spec is a
 // cache hit and identical in-flight submissions execute once.
 //
+// Observability: GET /metrics serves Prometheus text exposition (live
+// service and engine signals, updated every GVT round), GET
+// /jobs/{id}/flight returns a job's flight recorder (the bounded tail
+// of its recent rounds, for post-mortems), logs are structured
+// (-log-level, -log-format), and -debug-addr starts a separate
+// listener with net/http/pprof and a second /metrics mount. `simtop`
+// renders the daemon live in a terminal.
+//
 // Examples:
 //
 //	simd                                   # listen on :8080
 //	simd -addr 127.0.0.1:9090 -workers 4   # four concurrent simulations
 //	simd -cachesize 256 -queue 128         # 256 MiB cache, 128 queued jobs
+//	simd -log-level debug -log-format text # chatty human-readable logs
+//	simd -debug-addr 127.0.0.1:6060        # pprof + metrics debug listener
 //
-// See README.md ("Running as a service") for the curl walkthrough.
+// See README.md ("Running as a service" and "Observability") for the
+// curl walkthrough.
 package main
 
 import (
@@ -19,13 +30,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simd"
 )
 
@@ -35,23 +49,39 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulations executing concurrently")
 		queue     = flag.Int("queue", 64, "bounded queue depth beyond the running jobs; past it submissions get 429")
 		cacheSize = flag.Int64("cachesize", 64, "result cache budget in MiB (0: disable caching)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "json", "log output format: json|text")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving /debug/pprof/ and /metrics (empty: disabled)")
+		flightN   = flag.Int("flight-rounds", 64, "per-job flight recorder size in GVT rounds")
+		flightJ   = flag.Int("flight-retain", 128, "finished jobs retaining flight/event history before the oldest is released")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cacheSize); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err == nil {
+		var logger *slog.Logger
+		logger, err = obs.NewLogger(os.Stderr, *logFormat, level)
+		if err == nil {
+			err = run(*addr, *debugAddr, *workers, *queue, *cacheSize, *flightN, *flightJ, logger)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, cacheMiB int64) error {
+func run(addr, debugAddr string, workers, queue int, cacheMiB int64, flightRounds, flightRetain int, logger *slog.Logger) error {
 	cacheBytes := cacheMiB << 20
 	if cacheMiB <= 0 {
 		cacheBytes = -1
 	}
 	svc := simd.NewServer(simd.Options{
-		Workers:    workers,
-		QueueDepth: queue,
-		CacheBytes: cacheBytes,
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheBytes:   cacheBytes,
+		FlightRounds: flightRounds,
+		FlightRetain: flightRetain,
+		Logger:       logger,
 	})
 
 	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
@@ -63,8 +93,30 @@ func run(addr string, workers, queue int, cacheMiB int64) error {
 		}
 		errCh <- nil
 	}()
-	fmt.Printf("simd: listening on %s (%d workers, queue %d, cache %d MiB)\n",
-		addr, workers, queue, cacheMiB)
+	build := obs.ReadBuild()
+	logger.Info("simd listening", "addr", addr, "workers", workers, "queue", queue,
+		"cache_mib", cacheMiB, "go_version", build.GoVersion, "revision", build.ShortRevision())
+
+	// Optional debug listener: pprof profiles plus a second /metrics
+	// mount, kept off the public address so profiling stays opt-in and
+	// firewallable separately from the API.
+	var dbgSrv *http.Server
+	if debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", svc.MetricsHandler())
+		dbgSrv = &http.Server{Addr: debugAddr, Handler: dmux}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", debugAddr, "error", err.Error())
+			}
+		}()
+		logger.Info("debug listener up", "addr", debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,11 +130,15 @@ func run(addr string, workers, queue int, cacheMiB int64) error {
 
 	// Graceful drain: stop accepting connections, let in-flight HTTP
 	// requests finish, then let every admitted job settle.
-	fmt.Println("simd: shutting down")
+	logger.Info("simd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if dbgSrv != nil {
+		dbgSrv.Shutdown(shutdownCtx)
+	}
 	svc.Close()
+	logger.Info("simd drained")
 	if err := <-errCh; err != nil {
 		return err
 	}

@@ -1,0 +1,262 @@
+// Command simtop is a terminal monitor for a running simd daemon: it
+// polls /metrics, /stats and /jobs and renders a refreshing one-screen
+// view — queue pressure, worker utilization, cache effectiveness, live
+// engine rates (committed events/sec, rollbacks/sec, GVT rounds/sec)
+// and per-job GVT progress — the way top does for processes.
+//
+// Examples:
+//
+//	simtop                                  # watch http://127.0.0.1:8080 at 1s
+//	simtop -addr http://10.0.0.7:8080 -interval 2s
+//	simtop -once                            # render a single frame and exit
+//	                                        # (scriptable: used by the obs smoke test)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "simd base URL")
+		interval = flag.Duration("interval", time.Second, "poll/refresh interval")
+		once     = flag.Bool("once", false, "render one frame without clearing the screen and exit")
+		rows     = flag.Int("jobs", 12, "job rows to show (most recent first)")
+	)
+	flag.Parse()
+	if err := run(*addr, *interval, *once, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "simtop:", err)
+		os.Exit(1)
+	}
+}
+
+// frame is one poll of the daemon.
+type frame struct {
+	at      time.Time
+	stats   simd.Stats
+	jobs    []simd.JobStatus
+	metrics *obs.Snapshot
+}
+
+// poll fetches one frame from the daemon.
+func poll(client *http.Client, base string) (*frame, error) {
+	f := &frame{at: time.Now()}
+	if err := getJSON(client, base+"/stats", &f.stats); err != nil {
+		return nil, err
+	}
+	var list struct {
+		Jobs []simd.JobStatus `json:"jobs"`
+	}
+	if err := getJSON(client, base+"/jobs", &list); err != nil {
+		return nil, err
+	}
+	f.jobs = list.Jobs
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	f.metrics, err = obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func run(base string, interval time.Duration, once bool, rows int) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	cur, err := poll(client, base)
+	if err != nil {
+		return err
+	}
+	if once {
+		fmt.Print(render(base, nil, cur, rows))
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+	fmt.Print("\x1b[2J") // clear once; frames then repaint from home
+	var prev *frame
+	for {
+		fmt.Print("\x1b[H" + render(base, prev, cur, rows) + "\x1b[0J")
+		select {
+		case <-sig:
+			fmt.Println()
+			return nil
+		case <-tick.C:
+		}
+		prev = cur
+		next, err := poll(client, base)
+		if err != nil {
+			// Keep the last frame on screen and report the blip — the
+			// daemon may be restarting.
+			fmt.Printf("\x1b[Hsimtop: poll failed: %v (retrying)\x1b[0K\n", err)
+			continue
+		}
+		cur = next
+	}
+}
+
+// rate computes a per-second delta of a counter between frames.
+func rate(prev, cur *frame, name string) float64 {
+	if prev == nil {
+		return 0
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	a, _ := prev.metrics.Get(name)
+	b, _ := cur.metrics.Get(name)
+	if b < a {
+		return 0 // daemon restarted; counters reset
+	}
+	return (b - a) / dt
+}
+
+// render builds one full frame as a string.
+func render(base string, prev, cur *frame, rows int) string {
+	var b strings.Builder
+	st := cur.stats
+
+	buildLabel := "unknown"
+	for _, s := range cur.metrics.Samples {
+		if s.Name == "simd_build_info" {
+			buildLabel = s.Labels["revision"] + " (" + s.Labels["go_version"] + ")"
+			break
+		}
+	}
+	fmt.Fprintf(&b, "simtop — %s   up %s   build %s\x1b[0K\n\n",
+		base, fmtDur(time.Duration(st.UptimeSeconds*float64(time.Second))), buildLabel)
+
+	by := st.ByState
+	fmt.Fprintf(&b, "jobs     queued %-4d running %-4d done %-5d failed %-4d cancelled %-4d\x1b[0K\n",
+		by["queued"], by["running"], by["done"], by["failed"], by["cancelled"])
+	fmt.Fprintf(&b, "queue    %s %d/%d   workers %d/%d busy   rejected(429) %d\x1b[0K\n",
+		bar(st.QueueLen, st.QueueCap, 20), st.QueueLen, st.QueueCap,
+		st.WorkersBusy, st.Workers, st.Rejected)
+
+	c := st.Cache
+	ratio := 0.0
+	if c.Hits+c.Misses > 0 {
+		ratio = 100 * float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	fmt.Fprintf(&b, "cache    hits %d  misses %d  ratio %.1f%%   %s / %s   evictions %d   dedup %d\x1b[0K\n",
+		c.Hits, c.Misses, ratio, fmtBytes(c.Bytes), fmtBytes(c.Budget), c.Evictions, st.DedupHits)
+
+	fmt.Fprintf(&b, "engine   %s rounds/s   %s committed ev/s   %s processed ev/s   %s rollbacks/s\x1b[0K\n\n",
+		fmtRate(rate(prev, cur, "simd_engine_gvt_rounds_total")),
+		fmtRate(rate(prev, cur, "simd_engine_events_committed_total")),
+		fmtRate(rate(prev, cur, "simd_engine_events_processed_total")),
+		fmtRate(rate(prev, cur, "simd_engine_rollbacks_total")))
+
+	fmt.Fprintf(&b, "%-8s %-10s %8s %12s %8s %10s\x1b[0K\n",
+		"JOB", "STATE", "ROUNDS", "GVT", "EFF", "ELAPSED")
+	jobs := append([]simd.JobStatus(nil), cur.jobs...)
+	// Most recent first; running jobs are naturally near the top since
+	// IDs are sequential.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID > jobs[j].ID })
+	if len(jobs) > rows {
+		jobs = jobs[:rows]
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "%-8s %-10s %8d %12.2f %8.2f %10s\x1b[0K\n",
+			j.ID, string(j.State), j.Rounds, j.GVT, j.Efficiency, elapsed(j, cur.at))
+	}
+	if len(jobs) == 0 {
+		b.WriteString("(no jobs yet — POST a JobSpec to /jobs)\x1b[0K\n")
+	}
+	return b.String()
+}
+
+// elapsed is the job's wall-clock age in its current phase: run time for
+// started jobs (frozen at finish), queue age otherwise.
+func elapsed(j simd.JobStatus, now time.Time) string {
+	switch {
+	case j.StartedAt != nil && j.FinishedAt != nil:
+		return fmtDur(j.FinishedAt.Sub(*j.StartedAt))
+	case j.StartedAt != nil:
+		return fmtDur(now.Sub(*j.StartedAt))
+	case j.FinishedAt != nil: // born done (cache hit) or cancelled while queued
+		return fmtDur(0)
+	}
+	return fmtDur(now.Sub(j.SubmittedAt))
+}
+
+// bar renders a [####....] utilization bar.
+func bar(n, max, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	fill := n * width / max
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+func fmtDur(d time.Duration) string {
+	d = d.Round(time.Second)
+	if d >= time.Hour {
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.1f", v)
+}

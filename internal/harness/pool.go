@@ -1,6 +1,9 @@
 package harness
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a fixed-size worker pool with a bounded submission queue. It
 // is the execution substrate shared by the experiment executor (which
@@ -14,6 +17,7 @@ import "sync"
 type Pool struct {
 	tasks   chan func()
 	workers int
+	busy    atomic.Int64 // workers currently inside a task
 
 	mu        sync.Mutex
 	closed    bool
@@ -26,6 +30,7 @@ type Pool struct {
 // PoolStats is a point-in-time snapshot of pool accounting.
 type PoolStats struct {
 	Workers   int   // worker goroutines
+	Busy      int   // workers currently executing a task
 	QueueCap  int   // bounded queue capacity
 	QueueLen  int   // tasks waiting (not yet picked up)
 	Submitted int64 // accepted tasks since construction
@@ -48,7 +53,9 @@ func NewPool(workers, depth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.tasks {
+				p.busy.Add(1)
 				fn()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -93,6 +100,7 @@ func (p *Pool) Stats() PoolStats {
 	defer p.mu.Unlock()
 	return PoolStats{
 		Workers:   p.workers,
+		Busy:      int(p.busy.Load()),
 		QueueCap:  cap(p.tasks),
 		QueueLen:  len(p.tasks),
 		Submitted: p.submitted,

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: enough for a cluster operator to
+// tell which node runs which revision. Values come from
+// runtime/debug.ReadBuildInfo, so they are populated for real `go
+// build` binaries and degrade to "unknown" under `go test` or stripped
+// builds.
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision, "" when built outside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+}
+
+// ReadBuild extracts build identification from the running binary.
+func ReadBuild() Build {
+	b := Build{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// ShortRevision returns the abbreviated revision hash ("unknown" when
+// absent).
+func (b Build) ShortRevision() string {
+	if b.Revision == "" {
+		return "unknown"
+	}
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}
+
+// RegisterBuildInfo exposes the build as a constant `name{...} 1` gauge
+// — the conventional build_info shape, joinable against every other
+// series from the same instance.
+func RegisterBuildInfo(r *Registry, name string, b Build) {
+	mod := "false"
+	if b.Modified {
+		mod = "true"
+	}
+	r.GaugeVec(name, "Build identification of the running binary; constant 1.",
+		"go_version", "revision", "modified").
+		With(b.GoVersion, b.ShortRevision(), mod).Set(1)
+}

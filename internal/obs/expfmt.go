@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in text exposition format:
+// families sorted by name, series within a family sorted by label
+// suffix, each family preceded by its # HELP and # TYPE lines.
+// Histograms render cumulative `_bucket{le=...}` series (ending at
+// le="+Inf"), `_sum`, and `_count`. OnScrape hooks run first.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]*series, len(keys))
+	for i, k := range keys {
+		snap[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	if len(snap) == 0 {
+		return nil
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range snap {
+		switch {
+		case s.counter != nil:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		case s.gauge != nil:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
+		case s.fn != nil:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+		case s.hist != nil:
+			writeHistogram(w, f.name, s)
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series with cumulative buckets.
+func writeHistogram(w *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLe(s.labels, formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLe(s.labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, cum)
+}
+
+// mergeLe splices an le label into an existing (possibly empty) label
+// suffix.
+func mergeLe(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Sample is one parsed exposition line: a fully-qualified series name
+// (histogram buckets appear as name_bucket), its label set, and value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Snapshot is a parsed exposition document.
+type Snapshot struct {
+	Samples []Sample
+	// Types maps family name → TYPE declaration (counter/gauge/histogram).
+	Types map[string]string
+}
+
+// Get returns the value of the series with the given name whose label
+// set exactly matches the given label key/value pairs.
+func (s *Snapshot) Get(name string, kv ...string) (float64, bool) {
+	if len(kv)%2 != 0 {
+		panic("obs: Get takes label key/value pairs")
+	}
+	want := make(map[string]string, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		want[kv[i]] = kv[i+1]
+	}
+	for _, smp := range s.Samples {
+		if smp.Name != name || len(smp.Labels) != len(want) {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if smp.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return smp.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum returns the sum of every series with the given name, across all
+// label sets.
+func (s *Snapshot) Sum(name string) float64 {
+	var total float64
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			total += smp.Value
+		}
+	}
+	return total
+}
+
+// ParseText parses a Prometheus text exposition document — the format
+// WritePrometheus emits. Errors carry the offending line. Used by the
+// exposition tests and the simtop monitor.
+func ParseText(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				snap.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		smp, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineno, err)
+		}
+		snap.Samples = append(snap.Samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseSample parses one `name{k="v",...} value [timestamp]` line.
+func parseSample(line string) (Sample, error) {
+	smp := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	} else {
+		smp.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if smp.Name == "" {
+		return smp, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return smp, fmt.Errorf("%v in %q", err, line)
+		}
+		smp.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return smp, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return smp, fmt.Errorf("bad value %q", fields[0])
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+// parseLabels parses a `{k="v",...}` prefix and returns the remainder.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		val, tail, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		s = strings.TrimLeft(tail, " \t")
+		s = strings.TrimPrefix(s, ",")
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with \\, \" and
+// \n escapes, returning the unescaped value and the remainder.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}

@@ -1,0 +1,167 @@
+package simd
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestFlightRingBounds pins the ring's eviction arithmetic: capacity
+// holds, the retained window is the newest suffix, and totals survive
+// both eviction and release.
+func TestFlightRingBounds(t *testing.T) {
+	r := newFlightRing(4)
+	for i := 1; i <= 10; i++ {
+		r.push(metrics.ProgressUpdate{Round: int64(i)})
+	}
+	if r.total != 10 || r.dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10/6", r.total, r.dropped())
+	}
+	snap := r.snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len %d, want 4", len(snap))
+	}
+	for i, u := range snap {
+		if want := int64(7 + i); u.Round != want {
+			t.Fatalf("snapshot[%d].Round = %d, want %d", i, u.Round, want)
+		}
+	}
+	if last, ok := r.last(); !ok || last.Round != 10 {
+		t.Fatalf("last = %+v, %v", last, ok)
+	}
+	r.release()
+	r.push(metrics.ProgressUpdate{Round: 11})
+	if r.total != 11 || r.snapshot() != nil {
+		t.Fatalf("released ring: total %d snapshot %v", r.total, r.snapshot())
+	}
+}
+
+// TestFlightOfCompletedJob runs a real job and checks the flight
+// recorder agrees with the streamed history: same round count, the
+// retained tail is the newest suffix, and the terminal state rides
+// along.
+func TestFlightOfCompletedJob(t *testing.T) {
+	s := NewServer(Options{Workers: 1, FlightRounds: 8})
+	defer s.Close()
+	res, err := s.Submit(fastSpec(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Job.Wait(waitCtx(t)); st != StateDone {
+		t.Fatalf("state %s", st)
+	}
+	events, _, _ := res.Job.WaitEvents(waitCtx(t), 0)
+	fr := res.Job.Flight()
+	if fr.State != StateDone || !fr.Retained {
+		t.Fatalf("flight %+v", fr)
+	}
+	if fr.RoundsTotal != int64(len(events)) {
+		t.Fatalf("flight rounds %d != streamed %d", fr.RoundsTotal, len(events))
+	}
+	if len(fr.Recent) == 0 || len(fr.Recent) > 8 {
+		t.Fatalf("retained %d rounds, want 1..8", len(fr.Recent))
+	}
+	tail := events[len(events)-len(fr.Recent):]
+	for i := range tail {
+		if fr.Recent[i] != tail[i] {
+			t.Fatalf("flight[%d] = %+v, stream tail %+v", i, fr.Recent[i], tail[i])
+		}
+	}
+	if fr.GVT != tail[len(tail)-1].GVT {
+		t.Fatalf("flight GVT %v != last round %v", fr.GVT, tail[len(tail)-1].GVT)
+	}
+	if fr.RoundsDropped != fr.RoundsTotal-int64(len(fr.Recent)) {
+		t.Fatalf("dropped %d inconsistent with total %d retained %d",
+			fr.RoundsDropped, fr.RoundsTotal, len(fr.Recent))
+	}
+}
+
+// TestFlightOfCancelledJob is the post-mortem use case: cancel a
+// running job, then read its final approach from the flight endpoint.
+func TestFlightOfCancelledJob(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1})
+	res, err := s.Submit(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, res.Job)
+	if err := s.Cancel(res.Job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Job.Wait(waitCtx(t)); st != StateCancelled {
+		t.Fatalf("state %s", st)
+	}
+	code, body, _ := getBody(t, ts.URL+"/jobs/"+res.Job.ID()+"/flight")
+	if code != http.StatusOK {
+		t.Fatalf("flight: %d %s", code, body)
+	}
+	var fr FlightRecord
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.State != StateCancelled || !fr.Retained || len(fr.Recent) == 0 {
+		t.Fatalf("cancelled flight %+v", fr)
+	}
+	if fr.FinishedAt == nil || fr.StartedAt == nil {
+		t.Fatalf("flight missing timestamps: %+v", fr)
+	}
+}
+
+// TestFlightRetention pins the bounded-memory contract: once more jobs
+// finish than FlightRetain allows, the oldest loses its history (ring
+// and event slice) but keeps identity, state and counts; newer jobs
+// keep theirs.
+func TestFlightRetention(t *testing.T) {
+	s := NewServer(Options{Workers: 1, FlightRetain: 2, CacheBytes: -1})
+	defer s.Close()
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		res, err := s.Submit(fastSpec(uint64(500 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := res.Job.Wait(waitCtx(t)); st != StateDone {
+			t.Fatalf("job %d state %s", i, st)
+		}
+		jobs = append(jobs, res.Job)
+	}
+	for i, j := range jobs {
+		fr := j.Flight()
+		wantRetained := i >= 2 // only the 2 newest keep history
+		if fr.Retained != wantRetained {
+			t.Fatalf("job %d retained=%v, want %v", i, fr.Retained, wantRetained)
+		}
+		if fr.RoundsTotal == 0 {
+			t.Fatalf("job %d lost its round count", i)
+		}
+		if !wantRetained {
+			if fr.Recent != nil || fr.RoundsDropped != fr.RoundsTotal {
+				t.Fatalf("released job %d still has history: %+v", i, fr)
+			}
+			if j.Rounds() == 0 {
+				t.Fatalf("released job %d lost Rounds()", i)
+			}
+			// The report must survive release: history is bounded, results
+			// are not dropped.
+			if _, ok := j.Report(); !ok {
+				t.Fatalf("released job %d lost its report", i)
+			}
+			// A replay of a released stream ends immediately but cleanly.
+			events, state, done := j.WaitEvents(waitCtx(t), 0)
+			if len(events) != 0 || state != StateDone || !done {
+				t.Fatalf("released job %d replay: %d events, %s, done=%v", i, len(events), state, done)
+			}
+		}
+	}
+}
+
+// TestFlightNotFound pins the 404 path.
+func TestFlightNotFound(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1})
+	code, _, _ := getBody(t, ts.URL+"/jobs/nope/flight")
+	if code != http.StatusNotFound {
+		t.Fatalf("flight of missing job: %d, want 404", code)
+	}
+}

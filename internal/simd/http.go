@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // maxSpecBytes bounds a submitted spec document; anything larger is a
@@ -25,6 +27,11 @@ type JobStatus struct {
 	Deduped int64  `json:"deduped,omitempty"`
 	Rounds  int    `json:"rounds"`
 	Error   string `json:"error,omitempty"`
+	// GVT and Efficiency echo the most recent progress round (0 before
+	// the first round), so pollers and simtop can show live progress
+	// without streaming /events.
+	GVT        float64 `json:"gvt"`
+	Efficiency float64 `json:"efficiency"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -37,8 +44,12 @@ func (j *Job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, Hash: j.hash, State: j.state, CacheHit: j.cacheHit,
-		Deduped: j.deduped, Rounds: len(j.events), Error: j.errMsg,
+		Deduped: j.deduped, Rounds: int(j.flight.total), Error: j.errMsg,
 		SubmittedAt: j.submitted,
+	}
+	if last, ok := j.flight.last(); ok {
+		st.GVT = last.GVT
+		st.Efficiency = last.Efficiency
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -68,9 +79,11 @@ type submitResponse struct {
 //	GET    /jobs/{id}         one job's status
 //	GET    /jobs/{id}/report  the canonical run report        (409 until done)
 //	GET    /jobs/{id}/events  NDJSON per-GVT-round progress stream
+//	GET    /jobs/{id}/flight  flight recorder: bounded tail of recent rounds
 //	DELETE /jobs/{id}         cancel                           (409 if finished)
+//	GET    /metrics           Prometheus text exposition
 //	GET    /stats             service counters
-//	GET    /healthz           liveness
+//	GET    /healthz           liveness + build identification
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -78,12 +91,69 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.accessLog(mux)
+}
+
+// MetricsHandler serves the observability registry in Prometheus text
+// exposition format — also mountable on a separate debug listener.
+func (s *Server) MetricsHandler() http.Handler { return s.obs.reg.Handler() }
+
+// healthzResponse is the liveness document: enough identity for a
+// cluster operator to tell nodes and builds apart.
+type healthzResponse struct {
+	Status        string    `json:"status"`
+	Build         obs.Build `json:"build"`
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		Build:         obs.ReadBuild(),
+		StartedAt:     s.started,
+		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
-	return mux
+}
+
+// statusWriter records the response code for access logging while
+// passing Flush through to the underlying writer (the NDJSON stream
+// depends on it).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLog wraps the API with debug-level request logging; with the
+// default nop logger it costs one Enabled check per request.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.log.Enabled(r.Context(), slog.LevelDebug) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "duration_seconds", time.Since(start).Seconds())
+	})
 }
 
 // httpError is the uniform error body.
@@ -223,6 +293,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			return // client went away
 		}
+	}
+}
+
+// handleFlight serves the job's flight recorder: the bounded ring of
+// its most recent per-GVT-round snapshots plus terminal state, so a
+// failed or cancelled job can be post-mortemed without re-running it.
+// Unlike /report it answers in every lifecycle state.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Flight())
 	}
 }
 

@@ -44,7 +44,8 @@ type Job struct {
 	cacheHit bool
 	deduped  int64 // additional submissions coalesced onto this job
 	events   []metrics.ProgressUpdate
-	report   []byte // canonical report JSON, set in StateDone
+	flight   *flightRing // bounded tail of events, survives until retention evicts it
+	report   []byte      // canonical report JSON, set in StateDone
 	errMsg   string
 
 	eng       *core.Engine // non-nil while the engine may still be cancelled
@@ -55,8 +56,12 @@ type Job struct {
 	finished  time.Time
 }
 
-func newJob(id, hash string, spec JobSpec) *Job {
-	j := &Job{id: id, hash: hash, spec: spec, state: StateQueued, submitted: time.Now()}
+func newJob(id, hash string, spec JobSpec, flightRounds int) *Job {
+	j := &Job{
+		id: id, hash: hash, spec: spec, state: StateQueued,
+		flight:    newFlightRing(flightRounds),
+		submitted: time.Now(),
+	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -109,10 +114,12 @@ func (j *Job) Report() ([]byte, bool) {
 }
 
 // Rounds returns how many progress updates the run has emitted so far.
+// The count survives history release: it reads the flight recorder's
+// monotone total, not the (releasable) event slice.
 func (j *Job) Rounds() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.events)
+	return int(j.flight.total)
 }
 
 // Wait blocks until the job reaches a terminal state or the context is
@@ -159,11 +166,27 @@ func (j *Job) wake() {
 }
 
 // publish appends one progress update; the engine calls it once per
-// GVT round via the metrics recorder's OnProgress hook.
+// GVT round via the metrics recorder's OnProgress hook. The update
+// lands in both the full stream history (for /events replays) and the
+// bounded flight ring (for post-mortems after retention trims the
+// history).
 func (j *Job) publish(u metrics.ProgressUpdate) {
 	j.mu.Lock()
 	j.events = append(j.events, u)
+	j.flight.push(u)
 	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// releaseHistory frees the job's full event history and flight ring —
+// flight retention calls it when the job ages out of the recently-
+// finished window, bounding service memory. Identity, state, report
+// bytes and round counts survive; an /events replay after release
+// returns only the terminal record.
+func (j *Job) releaseHistory() {
+	j.mu.Lock()
+	j.events = nil
+	j.flight.release()
 	j.mu.Unlock()
 }
 

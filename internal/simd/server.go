@@ -3,13 +3,16 @@ package simd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,6 +39,18 @@ type Options struct {
 	// CacheBytes is the result cache budget in bytes (default 64 MiB;
 	// negative disables caching).
 	CacheBytes int64
+	// FlightRounds sizes each job's flight recorder: the ring of most
+	// recent per-GVT-round progress snapshots kept for post-mortems
+	// (default 64).
+	FlightRounds int
+	// FlightRetain bounds how many finished jobs keep their flight ring
+	// and event history; beyond it the oldest finished job's history is
+	// released, keeping memory bounded while recent post-mortems stay
+	// available (default 128).
+	FlightRetain int
+	// Logger receives structured job-lifecycle logs; nil discards them
+	// (the right default for tests and embedding).
+	Logger *slog.Logger
 }
 
 // withDefaults resolves zero values.
@@ -52,6 +67,15 @@ func (o Options) withDefaults() Options {
 	if o.CacheBytes == 0 {
 		o.CacheBytes = 64 << 20
 	}
+	if o.FlightRounds <= 0 {
+		o.FlightRounds = 64
+	}
+	if o.FlightRetain <= 0 {
+		o.FlightRetain = 128
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
 	return o
 }
 
@@ -60,15 +84,19 @@ func (o Options) withDefaults() Options {
 // bounded worker pool. See the package comment for why each stage is
 // sound.
 type Server struct {
-	opts  Options
-	pool  *harness.Pool
-	cache *Cache
+	opts    Options
+	pool    *harness.Pool
+	cache   *Cache
+	obs     *serviceObs
+	log     *slog.Logger
+	started time.Time
 
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*Job // by id
 	order    []*Job          // submission order, for listing
 	inflight map[string]*Job // spec hash → queued/running job (singleflight table)
+	retired  []*Job          // finished jobs still holding history, oldest first
 	seq      int64
 
 	executions atomic.Int64 // engine runs actually started (cache/dedup bypass this)
@@ -91,13 +119,17 @@ type SubmitResult struct {
 // workers.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		pool:     harness.NewPool(opts.Workers, opts.QueueDepth),
 		cache:    NewCache(opts.CacheBytes),
+		log:      opts.Logger,
+		started:  time.Now(),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	s.obs = newServiceObs(s)
+	return s
 }
 
 // Submit admits one job. The spec is canonicalized and content-hashed;
@@ -126,6 +158,10 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		j.state = StateDone
 		j.report = data
 		j.finished = j.submitted
+		s.retireLocked(j)
+		s.obs.submissions.With("cache_hit").Inc()
+		s.obs.jobsFinished.With(string(StateDone)).Inc()
+		s.log.Info("job served from cache", "job", j.id, "hash", j.hash, "model", canon.Model)
 		return SubmitResult{Job: j, CacheHit: true}, nil
 	}
 
@@ -134,6 +170,8 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		prior.deduped++
 		prior.mu.Unlock()
 		s.dedupHits.Add(1)
+		s.obs.submissions.With("deduped").Inc()
+		s.log.Info("submission coalesced onto in-flight job", "job", prior.id, "hash", hash)
 		return SubmitResult{Job: prior, Deduped: true}, nil
 	}
 
@@ -144,19 +182,38 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		s.order = s.order[:len(s.order)-1]
 		s.seq--
 		s.rejected.Add(1)
+		s.obs.submissions.With("rejected").Inc()
+		s.log.Warn("submission rejected: queue full", "hash", hash,
+			"queue_cap", s.opts.QueueDepth)
 		return SubmitResult{}, ErrQueueFull
 	}
 	s.inflight[hash] = j
+	s.obs.submissions.With("admitted").Inc()
+	s.log.Info("job admitted", "job", j.id, "hash", j.hash, "model", canon.Model,
+		"queue_len", s.pool.Stats().QueueLen)
 	return SubmitResult{Job: j}, nil
 }
 
 // newJobLocked allocates and records a job; the caller holds s.mu.
 func (s *Server) newJobLocked(hash string, canon JobSpec) *Job {
 	s.seq++
-	j := newJob(fmt.Sprintf("j%06d", s.seq), hash, canon)
+	j := newJob(fmt.Sprintf("j%06d", s.seq), hash, canon, s.opts.FlightRounds)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	return j
+}
+
+// retireLocked enrolls a finished job in flight retention, releasing the
+// oldest retired job's history when the window overflows; the caller
+// holds s.mu.
+func (s *Server) retireLocked(j *Job) {
+	s.retired = append(s.retired, j)
+	for len(s.retired) > s.opts.FlightRetain {
+		old := s.retired[0]
+		s.retired = s.retired[1:]
+		old.releaseHistory()
+		s.log.Debug("released job history", "job", old.id)
+	}
 }
 
 // execute runs one job on a pool worker.
@@ -166,11 +223,17 @@ func (s *Server) execute(j *Job) {
 		if s.inflight[j.hash] == j {
 			delete(s.inflight, j.hash)
 		}
+		s.retireLocked(j)
 		s.mu.Unlock()
+		s.obs.jobsFinished.With(string(j.State())).Inc()
 	}()
 	if !j.beginRunning() {
+		s.log.Info("job cancelled while queued", "job", j.id)
 		return // cancelled while queued
 	}
+	s.obs.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+	s.log.Info("job running", "job", j.id, "hash", j.hash, "model", j.spec.Model,
+		"queued_seconds", j.started.Sub(j.submitted).Seconds())
 
 	report, runErr := s.runEngine(j)
 	switch {
@@ -181,6 +244,17 @@ func (s *Server) execute(j *Job) {
 		j.finish(StateCancelled, nil, "")
 	default:
 		j.finish(StateFailed, nil, runErr.Error())
+	}
+	dur := j.finished.Sub(j.started)
+	s.obs.runDuration.Observe(dur.Seconds())
+	switch j.State() {
+	case StateFailed:
+		s.log.Error("job failed", "job", j.id, "error", j.Err(),
+			"duration_seconds", dur.Seconds(), "rounds", j.Rounds())
+	default:
+		s.log.Info("job finished", "job", j.id, "state", string(j.State()),
+			"duration_seconds", dur.Seconds(), "rounds", j.Rounds(),
+			"report_bytes", len(report))
 	}
 }
 
@@ -198,7 +272,15 @@ func (s *Server) runEngine(j *Job) (report []byte, err error) {
 		return nil, err
 	}
 	rec := metrics.NewRecorder()
-	rec.OnProgress = j.publish
+	// Bridge every GVT round into the live registry before publishing it
+	// to streamers. prev carries the previous round's cumulative values;
+	// only the engine goroutine touches it.
+	var prev metrics.ProgressUpdate
+	rec.OnProgress = func(u metrics.ProgressUpdate) {
+		s.obs.bridgeProgress(prev, u)
+		prev = u
+		j.publish(u)
+	}
 	cfg.Metrics = rec
 
 	eng := core.New(cfg)
@@ -243,6 +325,7 @@ func (s *Server) Cancel(id string) error {
 	if !j.requestCancel() {
 		return ErrFinished
 	}
+	s.log.Info("job cancellation requested", "job", j.id)
 	return nil
 }
 
@@ -260,10 +343,14 @@ func (s *Server) Close() {
 // counter the cache-hit acceptance test audits.
 func (s *Server) Executions() int64 { return s.executions.Load() }
 
-// Stats is a point-in-time service snapshot.
+// Stats is a point-in-time service snapshot. The response schema is
+// documented in README.md ("Running as a service").
 type Stats struct {
-	Workers    int            `json:"workers"`
-	QueueCap   int            `json:"queue_cap"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+	QueueCap    int `json:"queue_cap"`
+	// QueueLen is the current queue depth: admitted jobs not yet picked
+	// up by a worker.
 	QueueLen   int            `json:"queue_len"`
 	Jobs       int            `json:"jobs"`
 	ByState    map[string]int `json:"by_state"`
@@ -271,24 +358,39 @@ type Stats struct {
 	DedupHits  int64          `json:"dedup_hits"`
 	Rejected   int64          `json:"rejected"`
 	Cache      CacheStats     `json:"cache"`
+
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// jobsByState counts current jobs per lifecycle state.
+func (s *Server) jobsByState() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	by := make(map[string]int, len(allStates))
+	for _, j := range s.order {
+		by[string(j.State())]++
+	}
+	return by
 }
 
 // Stats returns a snapshot of service accounting.
 func (s *Server) Stats() Stats {
 	ps := s.pool.Stats()
-	s.mu.Lock()
-	by := make(map[string]int, 5)
-	for _, j := range s.order {
-		by[string(j.State())]++
+	by := s.jobsByState()
+	n := 0
+	for _, c := range by {
+		n += c
 	}
-	n := len(s.order)
-	s.mu.Unlock()
 	return Stats{
-		Workers: ps.Workers, QueueCap: ps.QueueCap, QueueLen: ps.QueueLen,
+		Workers: ps.Workers, WorkersBusy: ps.Busy,
+		QueueCap: ps.QueueCap, QueueLen: ps.QueueLen,
 		Jobs: n, ByState: by,
-		Executions: s.executions.Load(),
-		DedupHits:  s.dedupHits.Load(),
-		Rejected:   s.rejected.Load(),
-		Cache:      s.cache.Stats(),
+		Executions:    s.executions.Load(),
+		DedupHits:     s.dedupHits.Load(),
+		Rejected:      s.rejected.Load(),
+		Cache:         s.cache.Stats(),
+		StartedAt:     s.started,
+		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 }

@@ -6,6 +6,9 @@
 #   - the second submission is served from the result cache
 #     (cache_hit_now=true and the engine executed exactly once),
 #   - the full NDJSON event stream replays and terminates with "end",
+#   - /metrics agrees: execution, cache-hit and job-state counters all
+#     move as expected across the duplicate submission,
+#   - /jobs/{id}/flight returns the completed job's recorded rounds,
 #   - SIGTERM shuts the daemon down cleanly.
 # Needs: go, curl, jq. Used by `make smoke` and the CI service job.
 set -euo pipefail
@@ -83,6 +86,37 @@ cmp -s "${WORK}/report1.json" "${WORK}/report2.json" \
 EXECS=$(curl -sf "${BASE}/stats" | jq -r .executions)
 [[ "${EXECS}" == 1 ]] || fail "engine executed ${EXECS} times (want exactly 1)"
 echo "smoke: cache hit verified (1 execution, byte-identical reports)"
+
+# --- /metrics: the counters must tell the same story -----------------
+# One admitted execution, one cache-hit submission, two finished jobs.
+curl -sf "${BASE}/metrics" >"${WORK}/metrics.txt" || fail "GET /metrics failed"
+metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "${WORK}/metrics.txt"; }
+
+V=$(metric 'simd_executions_total') || fail "/metrics missing simd_executions_total"
+[[ "${V}" == 1 ]] || fail "simd_executions_total=${V} (want 1)"
+V=$(metric 'simd_cache_hits_total') || fail "/metrics missing simd_cache_hits_total"
+[[ "${V}" == 1 ]] || fail "simd_cache_hits_total=${V} (want 1)"
+V=$(metric 'simd_submissions_total{outcome="admitted"}') || fail "/metrics missing admitted submissions"
+[[ "${V}" == 1 ]] || fail "admitted submissions=${V} (want 1)"
+V=$(metric 'simd_submissions_total{outcome="cache_hit"}') || fail "/metrics missing cache_hit submissions"
+[[ "${V}" == 1 ]] || fail "cache_hit submissions=${V} (want 1)"
+V=$(metric 'simd_jobs{state="done"}') || fail "/metrics missing done-jobs gauge"
+[[ "${V}" == 2 ]] || fail "done jobs=${V} (want 2)"
+V=$(metric 'simd_jobs_finished_total{state="done"}') || fail "/metrics missing finished-jobs counter"
+[[ "${V}" == 2 ]] || fail "finished done jobs=${V} (want 2)"
+grep -q '^simd_engine_events_committed_total [1-9]' "${WORK}/metrics.txt" \
+  || fail "engine committed-events counter never moved"
+echo "smoke: /metrics agrees (1 execution, 1 cache hit, 2 done jobs)"
+
+# --- flight recorder of the completed job ----------------------------
+CODE=$(curl -s -o "${WORK}/flight.json" -w '%{http_code}' "${BASE}/jobs/${ID1}/flight")
+[[ "${CODE}" == 200 ]] || fail "flight fetch returned HTTP ${CODE}"
+jq -e '.state == "done" and .rounds_total > 0 and (.recent | length) > 0' "${WORK}/flight.json" >/dev/null \
+  || fail "flight record incomplete: $(cat "${WORK}/flight.json")"
+FLIGHT_ROUNDS=$(jq -r .rounds_total "${WORK}/flight.json")
+[[ "${FLIGHT_ROUNDS}" == "${PROGRESS}" ]] \
+  || fail "flight rounds_total=${FLIGHT_ROUNDS} != streamed progress lines ${PROGRESS}"
+echo "smoke: flight recorder holds ${FLIGHT_ROUNDS} rounds for ${ID1}"
 
 # --- graceful shutdown ----------------------------------------------
 kill -TERM "${SIMD_PID}"
