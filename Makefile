@@ -6,7 +6,7 @@ WORKERS   ?= 0
 QUEUE     ?= 64
 CACHESIZE ?= 64
 
-.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke obs-smoke clean
+.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke obs-smoke durability-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ help:
 	@echo "  serve      run the simulation job server (cmd/simd)"
 	@echo "  smoke      end-to-end service smoke test (scripts/service_smoke.sh)"
 	@echo "  obs-smoke  observability smoke test: live /metrics, flight recorder, pprof, simtop (scripts/obs_smoke.sh)"
+	@echo "  durability-smoke  crash-safety smoke test: kill -9 warm restart, degraded mode, corrupt-entry quarantine, job deadline (scripts/durability_smoke.sh)"
 	@echo "  fmt        gofmt the tree"
 	@echo "  clean      remove build and run artifacts"
 	@echo ""
@@ -89,6 +90,15 @@ smoke:
 # it alongside `smoke` in the service gate.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# durability-smoke proves the crash-safety story against real processes:
+# a daemon is SIGKILLed mid-run, its successor on the same -store-dir
+# serves completed results byte-identically with zero re-execution and
+# re-runs the interrupted job from the journal; a broken store disk
+# degrades to memory-only; a corrupt entry is quarantined, never served;
+# -job-deadline fails over-budget jobs. CI runs it in the service gate.
+durability-smoke:
+	./scripts/durability_smoke.sh
 
 fmt:
 	gofmt -l -w .

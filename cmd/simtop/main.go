@@ -48,6 +48,9 @@ type frame struct {
 	stats   simd.Stats
 	jobs    []simd.JobStatus
 	metrics *obs.Snapshot
+	// health is /healthz's status: "ok", "degraded" (persistent store
+	// bypassed, results memory-only), or "" when the probe failed.
+	health string
 }
 
 // poll fetches one frame from the daemon.
@@ -55,6 +58,12 @@ func poll(client *http.Client, base string) (*frame, error) {
 	f := &frame{at: time.Now()}
 	if err := getJSON(client, base+"/stats", &f.stats); err != nil {
 		return nil, err
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(client, base+"/healthz", &hz); err == nil {
+		f.health = hz.Status // best-effort: an old daemon without the field still renders
 	}
 	var list struct {
 		Jobs []simd.JobStatus `json:"jobs"`
@@ -90,11 +99,37 @@ func getJSON(client *http.Client, url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
+// backoffCap bounds the retry delay between failed polls.
+const backoffCap = 5 * time.Second
+
+// pollRetry polls with capped exponential backoff (250ms doubling to
+// backoffCap), so a daemon that is still starting — or mid-restart —
+// doesn't kill the monitor on the first refused connection.
+func pollRetry(client *http.Client, base string, attempts int) (*frame, error) {
+	delay := 250 * time.Millisecond
+	for i := 1; ; i++ {
+		f, err := poll(client, base)
+		if err == nil {
+			return f, nil
+		}
+		if i >= attempts {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "simtop: poll failed (attempt %d/%d): %v; retrying in %s\n",
+			i, attempts, err, delay)
+		time.Sleep(delay)
+		delay *= 2
+		if delay > backoffCap {
+			delay = backoffCap
+		}
+	}
+}
+
 func run(base string, interval time.Duration, once bool, rows int) error {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: 5 * time.Second}
 
-	cur, err := poll(client, base)
+	cur, err := pollRetry(client, base, 6)
 	if err != nil {
 		return err
 	}
@@ -105,28 +140,32 @@ func run(base string, interval time.Duration, once bool, rows int) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 
 	fmt.Print("\x1b[2J") // clear once; frames then repaint from home
 	var prev *frame
+	delay, failures := interval, 0
 	for {
 		fmt.Print("\x1b[H" + render(base, prev, cur, rows) + "\x1b[0J")
 		select {
 		case <-sig:
 			fmt.Println()
 			return nil
-		case <-tick.C:
+		case <-time.After(delay):
 		}
-		prev = cur
 		next, err := poll(client, base)
 		if err != nil {
-			// Keep the last frame on screen and report the blip — the
-			// daemon may be restarting.
-			fmt.Printf("\x1b[Hsimtop: poll failed: %v (retrying)\x1b[0K\n", err)
+			// Keep the last frame on screen, report the blip, and back off
+			// — the daemon may be restarting; hammering it helps nobody.
+			failures++
+			delay = interval << uint(failures-1)
+			if delay > backoffCap || delay < interval {
+				delay = backoffCap
+			}
+			fmt.Printf("\x1b[Hsimtop: poll failed: %v (retry %d in %s)\x1b[0K\n", err, failures, delay)
 			continue
 		}
-		cur = next
+		prev, cur = cur, next
+		delay, failures = interval, 0
 	}
 }
 
@@ -159,8 +198,13 @@ func render(base string, prev, cur *frame, rows int) string {
 			break
 		}
 	}
-	fmt.Fprintf(&b, "simtop — %s   up %s   build %s\x1b[0K\n\n",
+	fmt.Fprintf(&b, "simtop — %s   up %s   build %s\x1b[0K\n",
 		base, fmtDur(time.Duration(st.UptimeSeconds*float64(time.Second))), buildLabel)
+	if cur.health == "degraded" {
+		// Reverse video: the one condition an operator must not miss.
+		b.WriteString("\x1b[7m DEGRADED — persistent store bypassed; results are memory-only \x1b[0m\x1b[0K\n")
+	}
+	b.WriteString("\x1b[0K\n")
 
 	by := st.ByState
 	fmt.Fprintf(&b, "jobs     queued %-4d running %-4d done %-5d failed %-4d cancelled %-4d\x1b[0K\n",
@@ -176,6 +220,16 @@ func render(base string, prev, cur *frame, rows int) string {
 	}
 	fmt.Fprintf(&b, "cache    hits %d  misses %d  ratio %.1f%%   %s / %s   evictions %d   dedup %d\x1b[0K\n",
 		c.Hits, c.Misses, ratio, fmtBytes(c.Bytes), fmtBytes(c.Budget), c.Evictions, st.DedupHits)
+
+	if sc := st.Store; sc != nil {
+		mode := "ok"
+		if sc.Degraded {
+			mode = "DEGRADED"
+		}
+		fmt.Fprintf(&b, "store    %s   hits %d  misses %d  puts %d   %s / %s   quarantined %d  evictions %d\x1b[0K\n",
+			mode, sc.Hits, sc.Misses, sc.Puts, fmtBytes(sc.Bytes), fmtBytes(sc.MaxBytes),
+			sc.Quarantined, sc.Evictions)
+	}
 
 	fmt.Fprintf(&b, "engine   %s rounds/s   %s committed ev/s   %s processed ev/s   %s rollbacks/s\x1b[0K\n\n",
 		fmtRate(rate(prev, cur, "simd_engine_gvt_rounds_total")),

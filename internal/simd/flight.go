@@ -81,6 +81,9 @@ type FlightRecord struct {
 	State    State  `json:"state"`
 	CacheHit bool   `json:"cache_hit"`
 	Error    string `json:"error,omitempty"`
+	// PanicStack holds the recovered engine stack when the job failed by
+	// panic — the flight recorder's black-box record of the crash site.
+	PanicStack string `json:"panic_stack,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -112,6 +115,7 @@ func (j *Job) Flight() FlightRecord {
 	fr := FlightRecord{
 		ID: j.id, Hash: j.hash, State: j.state, CacheHit: j.cacheHit,
 		Error:       j.errMsg,
+		PanicStack:  j.panicStack,
 		SubmittedAt: j.submitted,
 		RoundsTotal: j.flight.total,
 		Retained:    j.flight.buf != nil,

@@ -23,6 +23,9 @@ type JobStatus struct {
 	Hash     string `json:"hash"`
 	State    State  `json:"state"`
 	CacheHit bool   `json:"cache_hit"`
+	// StoreHit marks a cache hit served from the persistent store (it
+	// survived a restart or was published by a sibling daemon).
+	StoreHit bool `json:"store_hit,omitempty"`
 	// Deduped counts later identical submissions coalesced onto this job.
 	Deduped int64  `json:"deduped,omitempty"`
 	Rounds  int    `json:"rounds"`
@@ -44,7 +47,8 @@ func (j *Job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, Hash: j.hash, State: j.state, CacheHit: j.cacheHit,
-		Deduped: j.deduped, Rounds: int(j.flight.total), Error: j.errMsg,
+		StoreHit: j.storeHit,
+		Deduped:  j.deduped, Rounds: int(j.flight.total), Error: j.errMsg,
 		SubmittedAt: j.submitted,
 	}
 	if last, ok := j.flight.last(); ok {
@@ -104,21 +108,32 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) MetricsHandler() http.Handler { return s.obs.reg.Handler() }
 
 // healthzResponse is the liveness document: enough identity for a
-// cluster operator to tell nodes and builds apart.
+// cluster operator to tell nodes and builds apart, plus the durability
+// posture ("ok" | "degraded" — still serving, but memory-only because
+// the persistent store's disk is misbehaving).
 type healthzResponse struct {
 	Status        string    `json:"status"`
 	Build         obs.Build `json:"build"`
 	StartedAt     time.Time `json:"started_at"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
+	// StoreDir is set when a persistent store is configured.
+	StoreDir string `json:"store_dir,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:        "ok",
 		Build:         obs.ReadBuild(),
 		StartedAt:     s.started,
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+	}
+	if st := s.opts.Store; st != nil {
+		resp.StoreDir = st.Dir()
+		if st.Degraded() {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusWriter records the response code for access logging while

@@ -42,14 +42,17 @@ type Job struct {
 	cond     *sync.Cond
 	state    State
 	cacheHit bool
+	storeHit bool  // the cache hit came from the persistent store
 	deduped  int64 // additional submissions coalesced onto this job
 	events   []metrics.ProgressUpdate
 	flight   *flightRing // bounded tail of events, survives until retention evicts it
 	report   []byte      // canonical report JSON, set in StateDone
 	errMsg   string
 
-	eng       *core.Engine // non-nil while the engine may still be cancelled
-	cancelled bool         // cancellation requested
+	eng        *core.Engine // non-nil while the engine may still be cancelled
+	cancelled  bool         // cancellation requested
+	deadline   bool         // the wall-clock deadline fired; cancellation is a failure
+	panicStack string       // recorded stack when the engine panicked
 
 	submitted time.Time
 	started   time.Time
@@ -88,6 +91,14 @@ func (j *Job) CacheHit() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.cacheHit
+}
+
+// StoreHit reports whether the job was served from the persistent store
+// (a cache hit that survived a restart or came from a sibling daemon).
+func (j *Job) StoreHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.storeHit
 }
 
 // Deduped returns how many identical submissions were coalesced onto
@@ -240,6 +251,49 @@ func (j *Job) requestCancel() bool {
 		eng.Cancel()
 	}
 	return true
+}
+
+// markDeadlineExceeded flags the job as over its wall-clock budget and
+// cancels its engine; execute turns the resulting ErrCancelled into a
+// failure instead of a cancellation. It reports whether it acted (false
+// once the job is already terminal).
+func (j *Job) markDeadlineExceeded() bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.deadline = true
+	j.cancelled = true
+	eng := j.eng
+	j.mu.Unlock()
+	if eng != nil {
+		eng.Cancel()
+	}
+	return true
+}
+
+// deadlineExceeded reports whether the wall-clock deadline fired.
+func (j *Job) deadlineExceeded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadline
+}
+
+// setPanicStack records the stack of a recovered engine panic for the
+// job's post-mortem record.
+func (j *Job) setPanicStack(stack string) {
+	j.mu.Lock()
+	j.panicStack = stack
+	j.mu.Unlock()
+}
+
+// PanicStack returns the recorded engine panic stack ("" unless the job
+// failed by panic).
+func (j *Job) PanicStack() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.panicStack
 }
 
 // finish records a terminal state. report is non-nil only for StateDone.

@@ -58,9 +58,9 @@ func newServiceObs(s *Server) *serviceObs {
 
 	// Admission and lifecycle.
 	o.submissions = reg.CounterVec("simd_submissions_total",
-		"Submissions by outcome: admitted (queued for execution), cache_hit, deduped (coalesced onto an in-flight job), rejected (queue full, HTTP 429).",
+		"Submissions by outcome: admitted (queued for execution), cache_hit, store_hit (cache hit filled from the persistent store), deduped (coalesced onto an in-flight job), rejected (queue full, HTTP 429).",
 		"outcome")
-	for _, oc := range []string{"admitted", "cache_hit", "deduped", "rejected"} {
+	for _, oc := range []string{"admitted", "cache_hit", "store_hit", "deduped", "rejected"} {
 		o.submissions.With(oc) // pre-create so all outcomes scrape as 0
 	}
 	o.jobsFinished = reg.CounterVec("simd_jobs_finished_total",
@@ -79,6 +79,15 @@ func newServiceObs(s *Server) *serviceObs {
 	reg.CounterFunc("simd_executions_total",
 		"Engine runs actually started (cache hits and dedup merges bypass this).",
 		func() float64 { return float64(s.executions.Load()) })
+	reg.CounterFunc("simd_job_deadline_exceeded_total",
+		"Jobs failed by the per-job wall-clock deadline.",
+		func() float64 { return float64(s.deadlined.Load()) })
+	reg.CounterFunc("simd_job_panics_total",
+		"Engine panics recovered and converted into job failures.",
+		func() float64 { return float64(s.panicked.Load()) })
+	reg.GaugeFunc("simd_jobs_recovered",
+		"Jobs re-enqueued from the journal at the last warm restart.",
+		func() float64 { return float64(s.recovered.Load()) })
 
 	// Queue and workers.
 	reg.GaugeFunc("simd_queue_depth",
@@ -111,6 +120,53 @@ func newServiceObs(s *Server) *serviceObs {
 		func() float64 { return float64(s.cache.Stats().Bytes) })
 	reg.GaugeFunc("simd_cache_budget_bytes", "Result-cache byte budget.",
 		func() float64 { return float64(s.cache.Stats().Budget) })
+
+	// Persistent store and journal, when configured. Func-backed like the
+	// cache: the store keeps its own counters; scrapes just read them.
+	if st := s.opts.Store; st != nil {
+		reg.CounterFunc("simd_store_hits_total", "Persistent-store hits.",
+			func() float64 { return float64(st.Stats().Hits) })
+		reg.CounterFunc("simd_store_misses_total", "Persistent-store misses.",
+			func() float64 { return float64(st.Stats().Misses) })
+		reg.CounterFunc("simd_store_puts_total", "Results published to the persistent store.",
+			func() float64 { return float64(st.Stats().Puts) })
+		reg.CounterFunc("simd_store_put_errors_total", "Failed persistent-store writes.",
+			func() float64 { return float64(st.Stats().PutErrors) })
+		reg.CounterFunc("simd_store_quarantined_total",
+			"Corrupt entries moved to quarantine on read.",
+			func() float64 { return float64(st.Stats().Quarantined) })
+		reg.CounterFunc("simd_store_evictions_total", "Persistent-store budget evictions.",
+			func() float64 { return float64(st.Stats().Evictions) })
+		reg.CounterFunc("simd_store_skipped_total",
+			"Store operations bypassed while degraded (memory-only mode).",
+			func() float64 { return float64(st.Stats().Skipped) })
+		reg.CounterFunc("simd_store_degraded_events_total",
+			"Transitions into degraded (memory-only) mode.",
+			func() float64 { return float64(st.Stats().DegradedEvents) })
+		reg.GaugeFunc("simd_store_degraded",
+			"1 while the store is degraded to memory-only, else 0.",
+			func() float64 {
+				if st.Degraded() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("simd_store_entries", "Entries in the persistent store.",
+			func() float64 { return float64(st.Stats().Entries) })
+		reg.GaugeFunc("simd_store_bytes", "Bytes in the persistent store.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		reg.GaugeFunc("simd_store_budget_bytes", "Persistent-store byte budget (0 = unbounded).",
+			func() float64 { return float64(st.Stats().MaxBytes) })
+	}
+	if jl := s.opts.Journal; jl != nil {
+		reg.CounterFunc("simd_journal_appends_total", "Journal records fsynced.",
+			func() float64 { return float64(jl.Stats().Appends) })
+		reg.CounterFunc("simd_journal_errors_total", "Failed journal appends.",
+			func() float64 { return float64(jl.Stats().Errors) })
+		reg.GaugeFunc("simd_journal_recovered",
+			"Interrupted jobs found in the journal at open.",
+			func() float64 { return float64(jl.Stats().Recovered) })
+	}
 
 	// Engine signals, bridged live from the per-round progress hook.
 	o.engRounds = reg.Counter("simd_engine_gvt_rounds_total",

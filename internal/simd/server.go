@@ -1,10 +1,12 @@
 package simd
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Submission errors the HTTP layer maps to status codes.
@@ -51,6 +54,19 @@ type Options struct {
 	// Logger receives structured job-lifecycle logs; nil discards them
 	// (the right default for tests and embedding).
 	Logger *slog.Logger
+	// Store is an optional disk layer under the in-memory cache:
+	// completed reports are persisted there and misses consult it before
+	// executing, so results survive restarts and can be shared between
+	// daemons on one host. Store failures never fail a job — the store
+	// degrades itself and the server keeps serving memory-only.
+	Store *store.Store
+	// Journal, when set, records job admissions and terminal states so a
+	// restarted daemon can re-enqueue interrupted work via Recover.
+	Journal *store.Journal
+	// JobDeadline bounds each job's wall-clock run time; a job exceeding
+	// it is cancelled through the kernel's Env.Cancel path and marked
+	// failed with a deadline message (0: unbounded).
+	JobDeadline time.Duration
 }
 
 // withDefaults resolves zero values.
@@ -102,14 +118,20 @@ type Server struct {
 	executions atomic.Int64 // engine runs actually started (cache/dedup bypass this)
 	dedupHits  atomic.Int64 // submissions coalesced onto an in-flight job
 	rejected   atomic.Int64 // submissions refused by admission control
+	deadlined  atomic.Int64 // jobs failed by the wall-clock deadline
+	panicked   atomic.Int64 // jobs failed by an engine panic
+	recovered  atomic.Int64 // jobs re-enqueued from the journal at startup
 }
 
 // SubmitResult describes how a submission was satisfied.
 type SubmitResult struct {
 	Job *Job
-	// CacheHit: the result came straight from the cache; the job was born
-	// done and nothing executed.
+	// CacheHit: the result came straight from the cache (memory or disk);
+	// the job was born done and nothing executed.
 	CacheHit bool
+	// StoreHit: the hit was served by the persistent store rather than
+	// the in-memory cache (a warm restart or a sibling daemon's work).
+	StoreHit bool
 	// Deduped: an identical spec was already in flight; Job is that
 	// existing job, not a new one.
 	Deduped bool
@@ -161,8 +183,31 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 		s.retireLocked(j)
 		s.obs.submissions.With("cache_hit").Inc()
 		s.obs.jobsFinished.With(string(StateDone)).Inc()
+		s.journalRetire(hash)
 		s.log.Info("job served from cache", "job", j.id, "hash", j.hash, "model", canon.Model)
 		return SubmitResult{Job: j, CacheHit: true}, nil
+	}
+
+	// Memory miss: consult the persistent store before executing. The
+	// read happens under s.mu — it is one small local file, and holding
+	// the lock keeps the singleflight invariant (at most one job per
+	// hash) trivially true. A degraded store answers instantly.
+	if s.opts.Store != nil {
+		if data, ok := s.opts.Store.Get(hash); ok {
+			s.cache.Put(hash, data)
+			j := s.newJobLocked(hash, canon)
+			j.cacheHit = true
+			j.storeHit = true
+			j.state = StateDone
+			j.report = data
+			j.finished = j.submitted
+			s.retireLocked(j)
+			s.obs.submissions.With("store_hit").Inc()
+			s.obs.jobsFinished.With(string(StateDone)).Inc()
+			s.journalRetire(hash)
+			s.log.Info("job served from persistent store", "job", j.id, "hash", j.hash, "model", canon.Model)
+			return SubmitResult{Job: j, CacheHit: true, StoreHit: true}, nil
+		}
 	}
 
 	if prior, ok := s.inflight[hash]; ok {
@@ -189,9 +234,37 @@ func (s *Server) Submit(spec JobSpec) (SubmitResult, error) {
 	}
 	s.inflight[hash] = j
 	s.obs.submissions.With("admitted").Inc()
+	s.journalBegin(j, canon)
 	s.log.Info("job admitted", "job", j.id, "hash", j.hash, "model", canon.Model,
 		"queue_len", s.pool.Stats().QueueLen)
 	return SubmitResult{Job: j}, nil
+}
+
+// journalRetire ends a replayed-pending job that a warm-restart
+// re-submission resolved without executing (cache or store hit), so it
+// stops replaying on later restarts.
+func (s *Server) journalRetire(hash string) {
+	if s.opts.Journal == nil {
+		return
+	}
+	if err := s.opts.Journal.Retire(hash); err != nil {
+		s.log.Warn("journal retire failed", "hash", hash, "error", err.Error())
+	}
+}
+
+// journalBegin records an admission in the warm-restart journal; a
+// journal failure is logged, never surfaced to the submitter.
+func (s *Server) journalBegin(j *Job, canon JobSpec) {
+	if s.opts.Journal == nil {
+		return
+	}
+	spec, err := json.Marshal(canon)
+	if err == nil {
+		err = s.opts.Journal.Begin(j.hash, spec)
+	}
+	if err != nil {
+		s.log.Warn("journal begin failed", "job", j.id, "error", err.Error())
+	}
 }
 
 // newJobLocked allocates and records a job; the caller holds s.mu.
@@ -226,6 +299,11 @@ func (s *Server) execute(j *Job) {
 		s.retireLocked(j)
 		s.mu.Unlock()
 		s.obs.jobsFinished.With(string(j.State())).Inc()
+		if s.opts.Journal != nil {
+			if err := s.opts.Journal.End(j.hash, string(j.State())); err != nil {
+				s.log.Warn("journal end failed", "job", j.id, "error", err.Error())
+			}
+		}
 	}()
 	if !j.beginRunning() {
 		s.log.Info("job cancelled while queued", "job", j.id)
@@ -235,20 +313,52 @@ func (s *Server) execute(j *Job) {
 	s.log.Info("job running", "job", j.id, "hash", j.hash, "model", j.spec.Model,
 		"queued_seconds", j.started.Sub(j.submitted).Seconds())
 
+	// Wall-clock deadline: enforced through the same Env.Cancel path as
+	// a user cancellation, so the kernel unwinds cleanly at its next
+	// dispatch boundary.
+	if d := s.opts.JobDeadline; d > 0 {
+		timer := time.AfterFunc(d, func() {
+			if j.markDeadlineExceeded() {
+				s.deadlined.Add(1)
+				s.log.Warn("job wall-clock deadline exceeded", "job", j.id,
+					"deadline_seconds", d.Seconds())
+			}
+		})
+		defer timer.Stop()
+	}
+
 	report, runErr := s.runEngine(j)
+	var pe *panicError
 	switch {
 	case runErr == nil:
 		s.cache.Put(j.hash, report)
+		if s.opts.Store != nil {
+			if err := s.opts.Store.Put(j.hash, report); err != nil {
+				s.log.Warn("store put failed; result kept in memory only",
+					"job", j.id, "error", err.Error())
+			}
+		}
 		j.finish(StateDone, report, "")
+	case errors.Is(runErr, sim.ErrCancelled) && j.deadlineExceeded():
+		j.finish(StateFailed, nil, fmt.Sprintf("wall-clock deadline %s exceeded", s.opts.JobDeadline))
 	case errors.Is(runErr, sim.ErrCancelled):
 		j.finish(StateCancelled, nil, "")
+	case errors.As(runErr, &pe):
+		// Panic isolation: the worker survives, the job fails with the
+		// stack recorded for /jobs/{id}/flight post-mortems.
+		j.setPanicStack(pe.stack)
+		s.panicked.Add(1)
+		j.finish(StateFailed, nil, runErr.Error())
 	default:
 		j.finish(StateFailed, nil, runErr.Error())
 	}
 	dur := j.finished.Sub(j.started)
 	s.obs.runDuration.Observe(dur.Seconds())
-	switch j.State() {
-	case StateFailed:
+	switch {
+	case pe != nil:
+		s.log.Error("job failed: engine panic", "job", j.id, "error", j.Err(),
+			"duration_seconds", dur.Seconds(), "rounds", j.Rounds(), "stack", pe.stack)
+	case j.State() == StateFailed:
 		s.log.Error("job failed", "job", j.id, "error", j.Err(),
 			"duration_seconds", dur.Seconds(), "rounds", j.Rounds())
 	default:
@@ -258,15 +368,33 @@ func (s *Server) execute(j *Job) {
 	}
 }
 
+// panicError carries a recovered engine panic plus the stack at the
+// point of the panic, for the job's post-mortem record.
+type panicError struct {
+	val   string
+	stack string
+}
+
+func (e *panicError) Error() string { return "simd: engine panic: " + e.val }
+
+// testInjectPanic, when set by a test, runs inside runEngine's recover
+// scope so panic isolation can be exercised without a genuinely buggy
+// kernel.
+var testInjectPanic func(spec JobSpec)
+
 // runEngine builds and runs the engine for a job, returning the
-// canonical report bytes. Engine panics become errors: one bad job must
-// not take down the service.
+// canonical report bytes. Engine panics become errors carrying the
+// stack: one bad job must not take down the worker pool, and the
+// post-mortem needs to say where it died.
 func (s *Server) runEngine(j *Job) (report []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("simd: engine panic: %v", r)
+			err = &panicError{val: fmt.Sprint(r), stack: string(debug.Stack())}
 		}
 	}()
+	if testInjectPanic != nil {
+		testInjectPanic(j.spec)
+	}
 	cfg, err := j.spec.BuildConfig()
 	if err != nil {
 		return nil, err
@@ -343,6 +471,42 @@ func (s *Server) Close() {
 // counter the cache-hit acceptance test audits.
 func (s *Server) Executions() int64 { return s.executions.Load() }
 
+// Degraded reports whether the persistent store is bypassing a
+// misbehaving disk; /healthz surfaces it as status "degraded". A server
+// without a store is never degraded.
+func (s *Server) Degraded() bool {
+	return s.opts.Store != nil && s.opts.Store.Degraded()
+}
+
+// Recover re-enqueues the jobs the journal found interrupted by the
+// previous run (warm restart). Jobs whose results reached the store
+// before the crash come back as instant cache hits; genuinely
+// interrupted jobs re-execute. Call it once, after NewServer and before
+// serving traffic. It returns how many jobs were re-submitted.
+func (s *Server) Recover() int {
+	if s.opts.Journal == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range s.opts.Journal.Pending() {
+		var spec JobSpec
+		if err := json.Unmarshal(p.Spec, &spec); err != nil {
+			s.log.Warn("recovery: unparseable journaled spec", "hash", p.Hash, "error", err.Error())
+			continue
+		}
+		res, err := s.Submit(spec)
+		if err != nil {
+			s.log.Warn("recovery: re-submission refused", "hash", p.Hash, "error", err.Error())
+			continue
+		}
+		n++
+		s.log.Info("recovered journaled job", "job", res.Job.ID(), "hash", p.Hash,
+			"cache_hit", res.CacheHit, "store_hit", res.StoreHit)
+	}
+	s.recovered.Store(int64(n))
+	return n
+}
+
 // Stats is a point-in-time service snapshot. The response schema is
 // documented in README.md ("Running as a service").
 type Stats struct {
@@ -357,7 +521,16 @@ type Stats struct {
 	Executions int64          `json:"executions"`
 	DedupHits  int64          `json:"dedup_hits"`
 	Rejected   int64          `json:"rejected"`
-	Cache      CacheStats     `json:"cache"`
+	// DeadlineExceeded counts jobs failed by the wall-clock deadline;
+	// Panics counts jobs failed by a recovered engine panic; Recovered
+	// counts jobs the startup journal replay re-enqueued.
+	DeadlineExceeded int64      `json:"deadline_exceeded"`
+	Panics           int64      `json:"panics"`
+	Recovered        int64      `json:"recovered"`
+	Cache            CacheStats `json:"cache"`
+	// Store and Journal are nil on a memory-only server.
+	Store   *store.Stats        `json:"store,omitempty"`
+	Journal *store.JournalStats `json:"journal,omitempty"`
 
 	StartedAt     time.Time `json:"started_at"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
@@ -382,15 +555,27 @@ func (s *Server) Stats() Stats {
 	for _, c := range by {
 		n += c
 	}
-	return Stats{
+	st := Stats{
 		Workers: ps.Workers, WorkersBusy: ps.Busy,
 		QueueCap: ps.QueueCap, QueueLen: ps.QueueLen,
 		Jobs: n, ByState: by,
-		Executions:    s.executions.Load(),
-		DedupHits:     s.dedupHits.Load(),
-		Rejected:      s.rejected.Load(),
-		Cache:         s.cache.Stats(),
-		StartedAt:     s.started,
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Executions:       s.executions.Load(),
+		DedupHits:        s.dedupHits.Load(),
+		Rejected:         s.rejected.Load(),
+		DeadlineExceeded: s.deadlined.Load(),
+		Panics:           s.panicked.Load(),
+		Recovered:        s.recovered.Load(),
+		Cache:            s.cache.Stats(),
+		StartedAt:        s.started,
+		UptimeSeconds:    time.Since(s.started).Seconds(),
 	}
+	if s.opts.Store != nil {
+		v := s.opts.Store.Stats()
+		st.Store = &v
+	}
+	if s.opts.Journal != nil {
+		v := s.opts.Journal.Stats()
+		st.Journal = &v
+	}
+	return st
 }

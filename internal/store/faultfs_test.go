@@ -1,0 +1,146 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// faultFS wraps the real filesystem with a failpoint: every operation
+// asks fail(op, path) first and returns its error when non-nil. It is
+// how the tests produce ENOSPC, permission loss and I/O errors on
+// demand, deterministically.
+type faultFS struct {
+	real FS
+
+	mu   sync.Mutex
+	fail func(op, path string) error
+	ops  []string // every operation attempted, for assertions
+}
+
+func newFaultFS() *faultFS { return &faultFS{real: OSFS{}} }
+
+// setFail installs (or clears, with nil) the failpoint.
+func (f *faultFS) setFail(fn func(op, path string) error) {
+	f.mu.Lock()
+	f.fail = fn
+	f.mu.Unlock()
+}
+
+func (f *faultFS) check(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, op)
+	if f.fail == nil {
+		return nil
+	}
+	return f.fail(op, path)
+}
+
+func (f *faultFS) opCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ops)
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check("mkdirall", path); err != nil {
+		return err
+	}
+	return f.real.MkdirAll(path, perm)
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.check("createtemp", dir); err != nil {
+		return nil, err
+	}
+	file, err := f.real.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.check("openfile", name); err != nil {
+		return nil, err
+	}
+	file, err := f.real.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check("readfile", name); err != nil {
+		return nil, err
+	}
+	return f.real.ReadFile(name)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.check("rename", newpath); err != nil {
+		return err
+	}
+	return f.real.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.check("remove", name); err != nil {
+		return err
+	}
+	return f.real.Remove(name)
+}
+
+func (f *faultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.check("readdir", name); err != nil {
+		return nil, err
+	}
+	return f.real.ReadDir(name)
+}
+
+func (f *faultFS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.check("stat", name); err != nil {
+		return nil, err
+	}
+	return f.real.Stat(name)
+}
+
+func (f *faultFS) Lock(file File) error {
+	if err := f.check("lock", file.Name()); err != nil {
+		return err
+	}
+	if ff, ok := file.(*faultFile); ok {
+		return f.real.Lock(ff.File)
+	}
+	return f.real.Lock(file)
+}
+
+func (f *faultFS) Unlock(file File) error {
+	if ff, ok := file.(*faultFile); ok {
+		return f.real.Unlock(ff.File)
+	}
+	return f.real.Unlock(file)
+}
+
+// faultFile intercepts writes and syncs — the calls a filling disk
+// fails with ENOSPC.
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check("write", f.Name()); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check("sync", f.Name()); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

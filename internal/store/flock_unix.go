@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// flock takes a blocking exclusive advisory lock on fd. Advisory locks
+// coordinate the daemons sharing a store directory (publish, eviction,
+// quarantine); readers need no lock because entries are published by
+// atomic rename and never modified in place.
+func flock(fd uintptr) error {
+	for {
+		err := syscall.Flock(int(fd), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+func funlock(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_UN)
+}

@@ -25,11 +25,21 @@ LONG_SPEC='{"model":"phold","nodes":4,"workers_per_node":4,"lps_per_worker":64,"
 
 fail() { echo "obs-smoke: FAIL: $*" >&2; exit 1; }
 
+# Always reap the daemon — TERM first, KILL if it lingers — and remove
+# the workspace, whether the script passes, fails, or is interrupted.
 cleanup() {
-  [[ -n "${SIMD_PID:-}" ]] && kill "${SIMD_PID}" 2>/dev/null || true
+  if [[ -n "${SIMD_PID:-}" ]]; then
+    kill "${SIMD_PID}" 2>/dev/null || true
+    for _ in $(seq 1 20); do
+      kill -0 "${SIMD_PID}" 2>/dev/null || break
+      sleep 0.2
+    done
+    kill -9 "${SIMD_PID}" 2>/dev/null || true
+    wait "${SIMD_PID}" 2>/dev/null || true
+  fi
   rm -rf "${WORK}"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 echo "obs-smoke: building cmd/simd and cmd/simtop"
 go build -o "${WORK}/simd" ./cmd/simd

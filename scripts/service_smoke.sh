@@ -22,11 +22,21 @@ SPEC='{"model":"phold","nodes":2,"workers_per_node":2,"lps_per_worker":8,"end_ti
 
 fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
 
+# Always reap the daemon — TERM first, KILL if it lingers — and remove
+# the workspace, whether the script passes, fails, or is interrupted.
 cleanup() {
-  [[ -n "${SIMD_PID:-}" ]] && kill "${SIMD_PID}" 2>/dev/null || true
+  if [[ -n "${SIMD_PID:-}" ]]; then
+    kill "${SIMD_PID}" 2>/dev/null || true
+    for _ in $(seq 1 20); do
+      kill -0 "${SIMD_PID}" 2>/dev/null || break
+      sleep 0.2
+    done
+    kill -9 "${SIMD_PID}" 2>/dev/null || true
+    wait "${SIMD_PID}" 2>/dev/null || true
+  fi
   rm -rf "${WORK}"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 echo "smoke: building cmd/simd"
 go build -o "${WORK}/simd" ./cmd/simd
