@@ -6,7 +6,7 @@ WORKERS   ?= 0
 QUEUE     ?= 64
 CACHESIZE ?= 64
 
-.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke obs-smoke durability-smoke clean
+.PHONY: all help build test verify bench benchdiff microbench cover fmt serve smoke obs-smoke durability-smoke cluster-smoke clean
 
 all: build
 
@@ -23,6 +23,7 @@ help:
 	@echo "  smoke      end-to-end service smoke test (scripts/service_smoke.sh)"
 	@echo "  obs-smoke  observability smoke test: live /metrics, flight recorder, pprof, simtop (scripts/obs_smoke.sh)"
 	@echo "  durability-smoke  crash-safety smoke test: kill -9 warm restart, degraded mode, corrupt-entry quarantine, job deadline (scripts/durability_smoke.sh)"
+	@echo "  cluster-smoke  failover smoke test: 3-node cluster loses a member to kill -9 with zero jobs lost (scripts/cluster_smoke.sh)"
 	@echo "  fmt        gofmt the tree"
 	@echo "  clean      remove build and run artifacts"
 	@echo ""
@@ -99,6 +100,14 @@ obs-smoke:
 # -job-deadline fails over-budget jobs. CI runs it in the service gate.
 durability-smoke:
 	./scripts/durability_smoke.sh
+
+# cluster-smoke proves the failover story: a 3-node simdcluster loses a
+# member to kill -9 mid-run and no submitted job is lost — queued work
+# re-dispatches to live replicas, completed reports survive their
+# owner's death byte-identically via the shared store, and repeat
+# submissions stay cache hits. CI runs it in the service gate.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 fmt:
 	gofmt -l -w .

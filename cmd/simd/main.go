@@ -67,6 +67,7 @@ type config struct {
 	storeMiB        int64
 	journalPath     string
 	jobDeadline     time.Duration
+	nodeID          string
 }
 
 func main() {
@@ -79,6 +80,7 @@ func main() {
 	flag.Int64Var(&cfg.storeMiB, "store-bytes", 1024, "persistent store budget in MiB (0: unbounded); oldest entries evict past it")
 	flag.StringVar(&cfg.journalPath, "journal", "", "warm-restart journal path (default <store-dir>/journal.ndjson; daemons sharing a store dir need distinct journals)")
 	flag.DurationVar(&cfg.jobDeadline, "job-deadline", 0, "per-job wall-clock deadline; a job over it fails (0: none)")
+	flag.StringVar(&cfg.nodeID, "node-id", "", "stable node identity echoed by /healthz and /stats (default: the listener's host:port)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "json", "log output format: json|text")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional debug listen address serving /debug/pprof/ and /metrics (empty: disabled)")
@@ -155,14 +157,19 @@ func run(cfg config, logger *slog.Logger) error {
 		opts.Store, opts.Journal = st, jl
 	}
 
-	svc := simd.NewServer(opts)
-
 	// Listen explicitly so the real port (e.g. with -addr :0) is known —
-	// and logged — before traffic or recovery starts.
+	// and logged — before traffic or recovery starts, and so the default
+	// node identity (host:port) exists before the server is built.
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
+	opts.NodeID = cfg.nodeID
+	if opts.NodeID == "" {
+		opts.NodeID = ln.Addr().String()
+	}
+
+	svc := simd.NewServer(opts)
 	httpSrv := newAPIServer(svc.Handler())
 	errCh := make(chan error, 1)
 	go func() {
@@ -173,9 +180,9 @@ func run(cfg config, logger *slog.Logger) error {
 		errCh <- nil
 	}()
 	build := obs.ReadBuild()
-	logger.Info("simd listening", "addr", ln.Addr().String(), "workers", cfg.workers,
-		"queue", cfg.queue, "cache_mib", cfg.cacheMiB, "store_dir", cfg.storeDir,
-		"go_version", build.GoVersion, "revision", build.ShortRevision())
+	logger.Info("simd listening", "addr", ln.Addr().String(), "node_id", opts.NodeID,
+		"workers", cfg.workers, "queue", cfg.queue, "cache_mib", cfg.cacheMiB,
+		"store_dir", cfg.storeDir, "go_version", build.GoVersion, "revision", build.ShortRevision())
 
 	// Warm restart: re-enqueue journaled jobs interrupted by the previous
 	// run. Completed ones come back as instant store hits; interrupted

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// newLineScanner wraps member stderr with a generous line budget —
+// structured log lines with embedded errors can run long.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return sc
+}
+
+// parseListening extracts the listen address from a member's
+// structured "simd listening" log line.
+func parseListening(line string) (string, bool) {
+	var rec struct {
+		Msg  string `json:"msg"`
+		Addr string `json:"addr"`
+	}
+	if json.Unmarshal([]byte(line), &rec) == nil && rec.Msg == "simd listening" && rec.Addr != "" {
+		return rec.Addr, true
+	}
+	return "", false
+}

@@ -13,10 +13,8 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -26,6 +24,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/simd"
+	"repro/internal/simdclient"
 )
 
 func main() {
@@ -42,10 +41,21 @@ func main() {
 	}
 }
 
-// frame is one poll of the daemon.
+// clusterStats is the slice of a simdcluster /stats document beyond the
+// plain daemon shape: per-node attribution. Against a single daemon it
+// decodes empty and the cluster line is simply not rendered.
+type clusterStats struct {
+	simd.Stats
+	Nodes []struct {
+		ID    string `json:"node_id"`
+		State string `json:"state"`
+	} `json:"nodes"`
+}
+
+// frame is one poll of the daemon (or cluster router).
 type frame struct {
 	at      time.Time
-	stats   simd.Stats
+	stats   clusterStats
 	jobs    []simd.JobStatus
 	metrics *obs.Snapshot
 	// health is /healthz's status: "ok", "degraded" (persistent store
@@ -54,82 +64,51 @@ type frame struct {
 }
 
 // poll fetches one frame from the daemon.
-func poll(client *http.Client, base string) (*frame, error) {
+func poll(c *simdclient.Client) (*frame, error) {
 	f := &frame{at: time.Now()}
-	if err := getJSON(client, base+"/stats", &f.stats); err != nil {
+	if err := c.GetJSON("/stats", &f.stats); err != nil {
 		return nil, err
 	}
-	var hz struct {
-		Status string `json:"status"`
-	}
-	if err := getJSON(client, base+"/healthz", &hz); err == nil {
+	if hz, err := c.Health(); err == nil {
 		f.health = hz.Status // best-effort: an old daemon without the field still renders
 	}
 	var list struct {
 		Jobs []simd.JobStatus `json:"jobs"`
 	}
-	if err := getJSON(client, base+"/jobs", &list); err != nil {
+	if err := c.GetJSON("/jobs", &list); err != nil {
 		return nil, err
 	}
 	f.jobs = list.Jobs
-	resp, err := client.Get(base + "/metrics")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
-	}
-	f.metrics, err = obs.ParseText(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	return f, nil
-}
-
-func getJSON(client *http.Client, url string, v any) error {
-	resp, err := client.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	var err error
+	f.metrics, err = c.Metrics()
+	return f, err
 }
 
 // backoffCap bounds the retry delay between failed polls.
 const backoffCap = 5 * time.Second
 
-// pollRetry polls with capped exponential backoff (250ms doubling to
-// backoffCap), so a daemon that is still starting — or mid-restart —
-// doesn't kill the monitor on the first refused connection.
-func pollRetry(client *http.Client, base string, attempts int) (*frame, error) {
-	delay := 250 * time.Millisecond
-	for i := 1; ; i++ {
-		f, err := poll(client, base)
-		if err == nil {
-			return f, nil
-		}
-		if i >= attempts {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "simtop: poll failed (attempt %d/%d): %v; retrying in %s\n",
-			i, attempts, err, delay)
-		time.Sleep(delay)
-		delay *= 2
-		if delay > backoffCap {
-			delay = backoffCap
-		}
-	}
+// pollRetry polls with capped exponential backoff, so a daemon that is
+// still starting — or mid-restart — doesn't kill the monitor on the
+// first refused connection.
+func pollRetry(c *simdclient.Client, attempts int) (*frame, error) {
+	var f *frame
+	err := simdclient.Retry(attempts, 250*time.Millisecond, backoffCap,
+		func() error {
+			var e error
+			f, e = poll(c)
+			return e
+		},
+		func(attempt int, err error, delay time.Duration) {
+			fmt.Fprintf(os.Stderr, "simtop: poll failed (attempt %d/%d): %v; retrying in %s\n",
+				attempt, attempts, err, delay)
+		})
+	return f, err
 }
 
 func run(base string, interval time.Duration, once bool, rows int) error {
-	base = strings.TrimRight(base, "/")
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := simdclient.New(base)
 
-	cur, err := pollRetry(client, base, 6)
+	cur, err := pollRetry(client, 6)
 	if err != nil {
 		return err
 	}
@@ -152,7 +131,7 @@ func run(base string, interval time.Duration, once bool, rows int) error {
 			return nil
 		case <-time.After(delay):
 		}
-		next, err := poll(client, base)
+		next, err := poll(client)
 		if err != nil {
 			// Keep the last frame on screen, report the blip, and back off
 			// — the daemon may be restarting; hammering it helps nobody.
@@ -203,6 +182,18 @@ func render(base string, prev, cur *frame, rows int) string {
 	if cur.health == "degraded" {
 		// Reverse video: the one condition an operator must not miss.
 		b.WriteString("\x1b[7m DEGRADED — persistent store bypassed; results are memory-only \x1b[0m\x1b[0K\n")
+	}
+	if len(st.Nodes) > 0 {
+		// Watching a cluster router: show member attribution.
+		up := 0
+		parts := make([]string, 0, len(st.Nodes))
+		for _, n := range st.Nodes {
+			if n.State == "up" {
+				up++
+			}
+			parts = append(parts, fmt.Sprintf("%s:%s", n.ID, n.State))
+		}
+		fmt.Fprintf(&b, "cluster  %d/%d nodes up   %s\x1b[0K\n", up, len(st.Nodes), strings.Join(parts, "  "))
 	}
 	b.WriteString("\x1b[0K\n")
 

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MergeSnapshots combines parsed exposition documents by summing every
+// sample with the same (name, label set) across the inputs — the
+// aggregation a cluster router applies to its members' /metrics:
+// counters add to cluster totals, gauges add to cluster-wide levels
+// (total queue depth, total cache bytes), and histogram _bucket/_sum/
+// _count series add component-wise, which is exactly how Prometheus
+// itself aggregates histograms. TYPE declarations are carried over
+// (first snapshot seen wins for a family). Nil snapshots are skipped.
+//
+// Summing is the only semantics offered: for the few series where a sum
+// is meaningless (e.g. a start-time gauge), aggregate callers should
+// read the per-member snapshots instead.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Types: make(map[string]string)}
+	sums := make(map[string]*Sample)
+	var order []string
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for fam, typ := range sn.Types {
+			if _, ok := out.Types[fam]; !ok {
+				out.Types[fam] = typ
+			}
+		}
+		for _, smp := range sn.Samples {
+			key := smp.Name + labelKey(smp.Labels)
+			if cur, ok := sums[key]; ok {
+				cur.Value += smp.Value
+				continue
+			}
+			cp := Sample{Name: smp.Name, Value: smp.Value}
+			if len(smp.Labels) > 0 {
+				cp.Labels = make(map[string]string, len(smp.Labels))
+				for k, v := range smp.Labels {
+					cp.Labels[k] = v
+				}
+			}
+			sums[key] = &cp
+			order = append(order, key)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return lessSampleKey(order[i], order[j]) })
+	out.Samples = make([]Sample, len(order))
+	for i, key := range order {
+		out.Samples[i] = *sums[key]
+	}
+	return out
+}
+
+// labelKey renders a canonical sort/dedup key for a label set.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lessSampleKey orders merged samples: by series name, then — so that
+// histogram buckets stay in ascending-bound order — by a numeric le
+// label when both keys carry one, then lexically.
+func lessSampleKey(a, b string) bool {
+	an, al := splitKey(a)
+	bn, bl := splitKey(b)
+	if an != bn {
+		return an < bn
+	}
+	av, aok := leBound(al)
+	bv, bok := leBound(bl)
+	if aok && bok && av != bv {
+		return av < bv
+	}
+	return al < bl
+}
+
+func splitKey(k string) (name, labels string) {
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		return k[:i], k[i:]
+	}
+	return k, ""
+}
+
+// leBound extracts the numeric le bound from a rendered label key.
+func leBound(labels string) (float64, bool) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	switch v := rest[:j]; v {
+	case "+Inf":
+		return math.Inf(1), true
+	default:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+}
+
+// WriteText renders the snapshot back into Prometheus text exposition
+// format: `# TYPE` lines for known families (histogram suffixes
+// _bucket/_sum/_count resolve to their base family), then one line per
+// sample in the snapshot's order. Round-trips with ParseText, so an
+// aggregator can parse member documents, merge them, and serve the
+// result from its own /metrics.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	for _, smp := range s.Samples {
+		fam := familyOf(smp.Name, s.Types)
+		if fam != "" && !typed[fam] {
+			typed[fam] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, s.Types[fam])
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", smp.Name, labelKey(smp.Labels), formatFloat(smp.Value))
+	}
+	return bw.Flush()
+}
+
+// familyOf resolves a sample name to its declared family ("" if none).
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return ""
+}

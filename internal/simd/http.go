@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -112,7 +114,9 @@ func (s *Server) MetricsHandler() http.Handler { return s.obs.reg.Handler() }
 // posture ("ok" | "degraded" — still serving, but memory-only because
 // the persistent store's disk is misbehaving).
 type healthzResponse struct {
-	Status        string    `json:"status"`
+	Status string `json:"status"`
+	// NodeID is the daemon's stable cluster identity (Options.NodeID).
+	NodeID        string    `json:"node_id,omitempty"`
 	Build         obs.Build `json:"build"`
 	StartedAt     time.Time `json:"started_at"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
@@ -123,6 +127,7 @@ type healthzResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{
 		Status:        "ok",
+		NodeID:        s.opts.NodeID,
 		Build:         obs.ReadBuild(),
 		StartedAt:     s.started,
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -195,6 +200,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Tell the client when retrying is worth it: the estimated queue
+		// drain time. Integer seconds, as RFC 9110 specifies.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(math.Ceil(s.RetryAfter().Seconds()))))
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrClosed):

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -345,5 +346,100 @@ func TestHTTPListStatsHealth(t *testing.T) {
 	code, body, _ = getBody(t, ts.URL+"/healthz")
 	if code != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Fatalf("healthz: %d %s", code, body)
+	}
+}
+
+// TestHTTPRetryAfter: a 429 carries a Retry-After hint derived from the
+// queue depth and the mean run duration, so routers and clients can
+// back off intelligently instead of hammering a saturated daemon.
+func TestHTTPRetryAfter(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1, QueueDepth: 1})
+
+	// Occupy the single worker with an effectively-endless run, then
+	// fill the single queue slot.
+	slow := `{"nodes":2,"workers_per_node":2,"lps_per_worker":8,"end_time":50000,"seed":91}`
+	resp, blocker := postJob(t, ts, slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body, _ := getBody(t, ts.URL+"/jobs/"+blocker.ID)
+		var st JobStatus
+		if code != http.StatusOK || json.Unmarshal(body, &st) != nil {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp, _ := postJob(t, ts, `{"nodes":2,"workers_per_node":2,"lps_per_worker":4,"end_time":5,"seed":92}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue filler: %d", resp.StatusCode)
+	}
+
+	resp429, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"nodes":2,"workers_per_node":2,"lps_per_worker":4,"end_time":5,"seed":93}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp429.Body.Close()
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %d, want 429", resp429.StatusCode)
+	}
+	ra := resp429.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not integer seconds: %v", ra, err)
+	}
+	if secs < 1 || secs > 120 {
+		t.Fatalf("Retry-After %d outside the [1s, 2m] clamp", secs)
+	}
+	// The estimate itself must agree with the header's order of magnitude.
+	if est := s.RetryAfter(); est < time.Second || est > 2*time.Minute {
+		t.Fatalf("RetryAfter() = %s outside the clamp", est)
+	}
+
+	// Unblock the worker so teardown doesn't wait out virtual year 50000.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, nil)
+	if del, err := http.DefaultClient.Do(req); err == nil {
+		del.Body.Close()
+	}
+	waitDone(t, ts, blocker.ID)
+}
+
+// TestHTTPNodeIdentity: a configured NodeID is echoed by /healthz and
+// /stats so cluster-aggregated stats can attribute counts to members;
+// without one the fields are omitted.
+func TestHTTPNodeIdentity(t *testing.T) {
+	_, ts := newTestService(t, Options{Workers: 1, NodeID: "n7"})
+
+	code, body, _ := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var hz struct {
+		NodeID string `json:"node_id"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil || hz.NodeID != "n7" {
+		t.Fatalf("healthz node_id %q (err %v), want n7", hz.NodeID, err)
+	}
+
+	code, body, _ = getBody(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil || st.NodeID != "n7" {
+		t.Fatalf("stats node_id %q (err %v), want n7", st.NodeID, err)
+	}
+
+	_, anon := newTestService(t, Options{Workers: 1})
+	_, body, _ = getBody(t, anon.URL+"/stats")
+	if strings.Contains(string(body), "node_id") {
+		t.Fatalf("anonymous daemon leaked a node_id: %s", body)
 	}
 }

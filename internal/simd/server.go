@@ -67,6 +67,11 @@ type Options struct {
 	// it is cancelled through the kernel's Env.Cancel path and marked
 	// failed with a deadline message (0: unbounded).
 	JobDeadline time.Duration
+	// NodeID is this daemon's stable identity in a cluster; /healthz and
+	// /stats echo it so aggregated cluster stats can attribute counts to
+	// members. Empty on a standalone daemon (cmd/simd defaults it to the
+	// listener's host:port).
+	NodeID string
 }
 
 // withDefaults resolves zero values.
@@ -471,6 +476,36 @@ func (s *Server) Close() {
 // counter the cache-hit acceptance test audits.
 func (s *Server) Executions() int64 { return s.executions.Load() }
 
+// NodeID returns the daemon's cluster identity ("" when unset).
+func (s *Server) NodeID() string { return s.opts.NodeID }
+
+// RetryAfter estimates how long a rejected submitter should wait before
+// retrying: the time to drain the current queue, i.e. (queue length + 1)
+// × mean observed run duration ÷ workers, clamped to [1s, 2m]. Before
+// any job has finished the mean falls back to one second, so early 429s
+// still carry a sane hint. The HTTP layer attaches it as a Retry-After
+// header; the cluster router uses it to back off per node.
+func (s *Server) RetryAfter() time.Duration {
+	ps := s.pool.Stats()
+	mean := 1.0 // seconds; optimistic prior before the first completion
+	if n := s.obs.runDuration.Count(); n > 0 {
+		mean = s.obs.runDuration.Sum() / float64(n)
+	}
+	workers := ps.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := float64(ps.QueueLen+1) * mean / float64(workers)
+	d := time.Duration(secs * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 2*time.Minute {
+		d = 2 * time.Minute
+	}
+	return d
+}
+
 // Degraded reports whether the persistent store is bypassing a
 // misbehaving disk; /healthz surfaces it as status "degraded". A server
 // without a store is never degraded.
@@ -510,9 +545,12 @@ func (s *Server) Recover() int {
 // Stats is a point-in-time service snapshot. The response schema is
 // documented in README.md ("Running as a service").
 type Stats struct {
-	Workers     int `json:"workers"`
-	WorkersBusy int `json:"workers_busy"`
-	QueueCap    int `json:"queue_cap"`
+	// NodeID is the daemon's cluster identity (Options.NodeID; empty on a
+	// standalone daemon without one).
+	NodeID      string `json:"node_id,omitempty"`
+	Workers     int    `json:"workers"`
+	WorkersBusy int    `json:"workers_busy"`
+	QueueCap    int    `json:"queue_cap"`
 	// QueueLen is the current queue depth: admitted jobs not yet picked
 	// up by a worker.
 	QueueLen   int            `json:"queue_len"`
@@ -556,6 +594,7 @@ func (s *Server) Stats() Stats {
 		n += c
 	}
 	st := Stats{
+		NodeID:  s.opts.NodeID,
 		Workers: ps.Workers, WorkersBusy: ps.Busy,
 		QueueCap: ps.QueueCap, QueueLen: ps.QueueLen,
 		Jobs: n, ByState: by,

@@ -1,0 +1,220 @@
+// Package simdclient is the small HTTP client shared by everything
+// that talks to a simd daemon or a simdcluster router: the simtop
+// monitor, the cluster's health checks and proxy bookkeeping, and the
+// smoke tests' curl-free assertions. It deliberately stays generic —
+// callers decode into their own wire types — so it imports nothing
+// above the obs metrics parser and creates no dependency cycles.
+package simdclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Client talks to one daemon or router base URL.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8080" (any
+	// trailing slash is trimmed by New).
+	Base string
+	// HTTP is the underlying client; New installs a 10s timeout. Replace
+	// it (or zero its Timeout) before streaming endpoints like /events.
+	HTTP *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client {
+	return &Client{
+		Base: strings.TrimRight(base, "/"),
+		HTTP: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// GetJSON fetches Base+path and decodes the JSON body into v. Any
+// non-200 status is an error carrying the status line.
+func (c *Client) GetJSON(path string, v any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// PostJSON posts body (marshalled as JSON; []byte and json.RawMessage
+// pass through verbatim) to Base+path and, when the response carries a
+// JSON body and v is non-nil, decodes it into v. It returns the HTTP
+// status code and its headers; a transport failure returns status 0.
+// Non-2xx statuses are not errors — callers branch on the code (429
+// with Retry-After is a protocol answer, not a failure).
+func (c *Client) PostJSON(path string, body any, v any) (int, http.Header, error) {
+	var payload []byte
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		payload = b
+	case json.RawMessage:
+		payload = b
+	default:
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return 0, nil, err
+		}
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, resp.Header, err
+	}
+	if v != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, v); err != nil {
+			return resp.StatusCode, resp.Header, fmt.Errorf("POST %s: %d with undecodable body %q: %w", path, resp.StatusCode, truncate(data), err)
+		}
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+// Delete issues a DELETE to Base+path (the job-cancel verb), decoding a
+// JSON body into v when non-nil. Returns the status code.
+func (c *Client) Delete(path string, v any) (int, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if v != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, v); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// GetRaw fetches Base+path and returns the status, body bytes and
+// headers without interpreting them — the shape proxies need.
+func (c *Client) GetRaw(path string) (int, []byte, http.Header, error) {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header, err
+}
+
+// Metrics fetches and parses Base+/metrics (Prometheus text
+// exposition).
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// Health is the slice of a /healthz document shared by daemon and
+// router: enough for gating and attribution.
+type Health struct {
+	Status string `json:"status"`
+	NodeID string `json:"node_id"`
+}
+
+// Health fetches Base+/healthz. A reachable daemon that answers
+// anything but 200 is an error — health gating wants a hard signal.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.GetJSON("/healthz", &h)
+	return h, err
+}
+
+// RetryAfterHint parses a Retry-After header (integer seconds form)
+// from h; ok is false when absent or unparseable.
+func RetryAfterHint(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// Retry runs fn up to attempts times with capped exponential backoff
+// (base doubling up to cap between tries), returning the first success
+// or the last error. onRetry, when non-nil, observes each failure
+// before the sleep — simtop uses it to report poll blips. A daemon that
+// is still starting, or mid-restart, shouldn't kill its client on the
+// first refused connection.
+func Retry(attempts int, base, cap time.Duration, fn func() error, onRetry func(attempt int, err error, delay time.Duration)) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := base
+	var err error
+	for i := 1; ; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i >= attempts {
+			return err
+		}
+		if onRetry != nil {
+			onRetry(i, err, delay)
+		}
+		time.Sleep(delay)
+		delay *= 2
+		if delay > cap {
+			delay = cap
+		}
+	}
+}
+
+// WaitHealthy polls /healthz with backoff until the daemon answers,
+// returning its health document — the "node is up only after /healthz
+// passes" gate the cluster lifecycle builds on.
+func (c *Client) WaitHealthy(attempts int) (Health, error) {
+	var h Health
+	err := Retry(attempts, 100*time.Millisecond, 2*time.Second, func() error {
+		var e error
+		h, e = c.Health()
+		return e
+	}, nil)
+	return h, err
+}
+
+// truncate bounds an error-message body echo.
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}

@@ -1,0 +1,135 @@
+package simdclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPostDelete(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /doc", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"n": 7}`))
+	})
+	mux.HandleFunc("POST /echo", func(w http.ResponseWriter, r *http.Request) {
+		var in map[string]any
+		json.NewDecoder(r.Body).Decode(&in)
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(in)
+	})
+	mux.HandleFunc("DELETE /doc", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"gone": true}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL + "/") // trailing slash must be trimmed
+
+	var doc struct {
+		N int `json:"n"`
+	}
+	if err := c.GetJSON("/doc", &doc); err != nil || doc.N != 7 {
+		t.Fatalf("GetJSON: %+v err %v", doc, err)
+	}
+	if err := c.GetJSON("/missing", &doc); err == nil {
+		t.Fatal("GetJSON on 404 must error")
+	}
+
+	var echo map[string]any
+	code, hdr, err := c.PostJSON("/echo", map[string]any{"k": "v"}, &echo)
+	if err != nil || code != http.StatusTooManyRequests || echo["k"] != "v" {
+		t.Fatalf("PostJSON: code %d echo %v err %v", code, echo, err)
+	}
+	if d, ok := RetryAfterHint(hdr); !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfterHint = %v, %v", d, ok)
+	}
+	if _, ok := RetryAfterHint(http.Header{}); ok {
+		t.Fatal("RetryAfterHint on empty header must be !ok")
+	}
+
+	var del struct {
+		Gone bool `json:"gone"`
+	}
+	if code, err := c.Delete("/doc", &del); err != nil || code != http.StatusOK || !del.Gone {
+		t.Fatalf("Delete: code %d %+v err %v", code, del, err)
+	}
+
+	code, body, _, err := c.GetRaw("/doc")
+	if err != nil || code != http.StatusOK || string(body) != `{"n": 7}` {
+		t.Fatalf("GetRaw: %d %q %v", code, body, err)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","node_id":"n2"}`))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("# TYPE x_total counter\nx_total 41\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+
+	h, err := c.Health()
+	if err != nil || h.Status != "ok" || h.NodeID != "n2" {
+		t.Fatalf("Health: %+v err %v", h, err)
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Get("x_total"); !ok || v != 41 {
+		t.Fatalf("metrics x_total = %v, %v", v, ok)
+	}
+}
+
+func TestRetryBacksOffThenSucceeds(t *testing.T) {
+	var calls, retries atomic.Int64
+	err := Retry(5, time.Millisecond, 4*time.Millisecond, func() error {
+		if calls.Add(1) < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	}, func(attempt int, err error, delay time.Duration) {
+		retries.Add(1)
+		if delay <= 0 || delay > 4*time.Millisecond {
+			t.Errorf("delay %v outside the cap", delay)
+		}
+	})
+	if err != nil || calls.Load() != 3 || retries.Load() != 2 {
+		t.Fatalf("err %v calls %d retries %d", err, calls.Load(), retries.Load())
+	}
+
+	boom := errors.New("boom")
+	if err := Retry(2, time.Millisecond, time.Millisecond, func() error { return boom }, nil); !errors.Is(err, boom) {
+		t.Fatalf("exhausted Retry returned %v, want the last error", err)
+	}
+}
+
+func TestWaitHealthyGates(t *testing.T) {
+	var ready atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	if _, err := c.WaitHealthy(1); err == nil {
+		t.Fatal("WaitHealthy must fail while the daemon is down")
+	}
+	time.AfterFunc(50*time.Millisecond, func() { ready.Store(true) })
+	h, err := c.WaitHealthy(20)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("WaitHealthy: %+v err %v", h, err)
+	}
+}

@@ -1,0 +1,875 @@
+// Package simdcluster turns N simd daemons into one service: an HTTP
+// router that shards jobs across members by their content address,
+// health-gates membership, and fails work over to live replicas when a
+// node dies or drains.
+//
+// Placement is rendezvous hashing over the job's canonical spec hash
+// (see Rank), refined by cache residency: a spec whose result is known
+// to live in node K's caches routes back to K, so repeat submissions
+// are store hits instead of re-executions. Members share one
+// content-addressed store directory (each with its own journal), which
+// is what makes failover cheap: a re-dispatched job that the dead node
+// had already completed resolves as a store hit on its new owner, byte
+// identical, with zero re-execution.
+//
+// Membership is health-gated: a registered member is "starting" and
+// receives nothing until /healthz passes, mirroring the embedded-
+// cluster lifecycle where a node is not started until it answers.
+// After FailThreshold consecutive probe failures an up member is
+// marked down, and every non-terminal job mapped to it is re-
+// dispatched to the next live replica in its rank.
+package simdcluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simd"
+	"repro/internal/simdclient"
+	"repro/internal/store"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// HealthInterval is the probe cadence (default 1s).
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive probe failures demote an up
+	// member to down (default 3).
+	FailThreshold int
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Replicas caps how many candidate members one dispatch tries before
+	// giving up (0: all eligible members).
+	Replicas int
+	// Logger receives membership and failover logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	return o
+}
+
+// clusterJob is the router's record of one submission: enough to proxy
+// reads to its current owner and to re-dispatch the canonical spec
+// when that owner disappears.
+type clusterJob struct {
+	id   string
+	hash string
+	// spec is the canonical spec document, kept verbatim so a failover
+	// re-submission hashes identically on the new owner.
+	spec json.RawMessage
+
+	// Guarded by Cluster.mu:
+	node         string // current owner member id
+	localID      string // the owner's job id for this work
+	last         simd.JobStatus
+	redispatches int
+}
+
+// StatusError is an error with an HTTP status, so the router can
+// answer proxy failures precisely (429 with Retry-After, 503 when no
+// replica is live, 404 for unknown ids).
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter string // optional Retry-After header value
+}
+
+func (e *StatusError) Error() string { return e.Msg }
+
+func statusErrf(code int, format string, args ...any) *StatusError {
+	return &StatusError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Cluster routes jobs across health-gated simd members.
+type Cluster struct {
+	opts Options
+	log  *slog.Logger
+	reg  *obs.Registry
+
+	mu      sync.Mutex
+	members map[string]*Member
+	order   []string // registration order, for stable display
+	jobs    map[string]*clusterJob
+	jobSeq  []*clusterJob
+	// resident maps spec hash → the member that last completed it, so
+	// repeat submissions route to warm caches ahead of ring rank.
+	resident map[string]string
+
+	nextID  atomic.Int64
+	started time.Time
+	stop    chan struct{}
+	loop    sync.WaitGroup
+	closed  bool
+
+	submitted    *obs.Counter
+	failovers    *obs.Counter
+	redispatches *obs.Counter
+	proxyErrors  *obs.Counter
+	nodesUp      *obs.GaugeVec
+}
+
+// New builds a cluster and starts its health loop. Register members
+// with AddMember; Close stops probing.
+func New(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{
+		opts:     opts,
+		log:      opts.Logger,
+		reg:      obs.NewRegistry(),
+		members:  make(map[string]*Member),
+		jobs:     make(map[string]*clusterJob),
+		resident: make(map[string]string),
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+	}
+	c.submitted = c.reg.Counter("simdcluster_submitted_total", "Jobs accepted by the router.")
+	c.failovers = c.reg.Counter("simdcluster_failovers_total", "Node-loss/drain events that triggered job re-dispatch.")
+	c.redispatches = c.reg.Counter("simdcluster_redispatches_total", "Jobs moved to another member after their owner died or drained.")
+	c.proxyErrors = c.reg.Counter("simdcluster_proxy_errors_total", "Member requests that failed at transport level.")
+	c.nodesUp = c.reg.GaugeVec("simdcluster_nodes", "Members per lifecycle state.", "state")
+	c.reg.OnScrape(func() {
+		counts := map[MemberState]float64{MemberStarting: 0, MemberUp: 0, MemberDown: 0}
+		for _, m := range c.Members() {
+			counts[m.State]++
+		}
+		for st, n := range counts {
+			c.nodesUp.With(string(st)).Set(n)
+		}
+	})
+	c.loop.Add(1)
+	go c.healthLoop()
+	return c
+}
+
+// Registry exposes the cluster's own metrics registry (the router's
+// /metrics renders it ahead of the merged member snapshots).
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// Close stops the health loop. Members are external processes and are
+// not touched.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.loop.Wait()
+}
+
+// AddMember registers (or re-registers, after a supervisor respawn) a
+// member at base. It enters the lifecycle as starting and receives no
+// dispatches until a health probe passes; use WaitUp to gate on that.
+func (c *Cluster) AddMember(id, base string, pid int) *Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok {
+		m = &Member{id: id}
+		c.members[id] = m
+		c.order = append(c.order, id)
+	}
+	m.rebase(base, pid, c.opts.ProbeTimeout)
+	c.log.Info("cluster member registered", "node_id", id, "addr", base, "pid", pid)
+	return m
+}
+
+// Member returns a registered member by id.
+func (c *Cluster) Member(id string) (*Member, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	return m, ok
+}
+
+// Members snapshots every member in registration order.
+func (c *Cluster) Members() []NodeStatus {
+	c.mu.Lock()
+	ms := make([]*Member, 0, len(c.order))
+	for _, id := range c.order {
+		ms = append(ms, c.members[id])
+	}
+	c.mu.Unlock()
+	out := make([]NodeStatus, len(ms))
+	for i, m := range ms {
+		out[i] = m.snapshot()
+	}
+	return out
+}
+
+// WaitUp blocks until the member passes its health gate (or the
+// timeout elapses) — "started" means answering, not merely spawned.
+func (c *Cluster) WaitUp(id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m, ok := c.Member(id)
+		if ok && m.State() == MemberUp {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			st := MemberState("unregistered")
+			if ok {
+				st = m.State()
+			}
+			return fmt.Errorf("simdcluster: member %s not up after %s (state %s)", id, timeout, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Drain marks a member ineligible for new work and moves its
+// unfinished jobs to live replicas; Drain(id, false) re-admits it.
+// The member itself is untouched — a draining node still answers
+// reads, which is the point: drain, watch it idle, then stop it.
+func (c *Cluster) Drain(id string, on bool) error {
+	m, ok := c.Member(id)
+	if !ok {
+		return statusErrf(http.StatusNotFound, "unknown node %q", id)
+	}
+	m.mu.Lock()
+	m.draining = on
+	m.mu.Unlock()
+	c.log.Info("cluster member drain", "node_id", id, "draining", on)
+	if on {
+		c.failoverFrom(id, "drain")
+	}
+	return nil
+}
+
+// healthLoop probes every member each interval and applies the
+// lifecycle transitions.
+func (c *Cluster) healthLoop() {
+	defer c.loop.Done()
+	t := time.NewTicker(c.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		ms := make([]*Member, 0, len(c.members))
+		for _, m := range c.members {
+			ms = append(ms, m)
+		}
+		c.mu.Unlock()
+		var wg sync.WaitGroup
+		for _, m := range ms {
+			wg.Add(1)
+			go func(m *Member) {
+				defer wg.Done()
+				c.probe(m)
+			}(m)
+		}
+		wg.Wait()
+	}
+}
+
+// probe runs one health check and applies the state machine.
+func (c *Cluster) probe(m *Member) {
+	h, err := m.probeClient().Health()
+	if err == nil && h.NodeID != "" && h.NodeID != m.id {
+		// Right port, wrong process: treat an identity mismatch as a
+		// failure so a recycled address cannot impersonate a member.
+		err = fmt.Errorf("node identity mismatch: probe answered as %q", h.NodeID)
+	}
+	m.mu.Lock()
+	var wentUp, wentDown bool
+	if err == nil {
+		m.failures = 0
+		m.lastErr = ""
+		m.lastSeen = time.Now()
+		if m.state != MemberUp {
+			m.state = MemberUp
+			wentUp = true
+		}
+	} else {
+		m.failures++
+		m.lastErr = err.Error()
+		if m.state == MemberUp && m.failures >= c.opts.FailThreshold {
+			m.state = MemberDown
+			wentDown = true
+		}
+	}
+	id, failures := m.id, m.failures
+	m.mu.Unlock()
+
+	if wentUp {
+		c.log.Info("cluster member up", "node_id", id)
+	}
+	if wentDown {
+		c.log.Warn("cluster member down", "node_id", id, "failures", failures, "error", err.Error())
+		c.failoverFrom(id, "down")
+	}
+}
+
+// failoverFrom re-dispatches every non-terminal job owned by the named
+// member to a live replica. Jobs that already finished keep their
+// mapping — their results live in the shared store, and a later report
+// fetch re-dispatches on demand (resolving as a store hit).
+func (c *Cluster) failoverFrom(id, reason string) {
+	c.mu.Lock()
+	var moving []*clusterJob
+	for _, j := range c.jobSeq {
+		if j.node == id && !terminal(j.last.State) {
+			moving = append(moving, j)
+		}
+	}
+	c.mu.Unlock()
+	if len(moving) == 0 {
+		return
+	}
+	c.failovers.Inc()
+	c.log.Warn("cluster failover", "node_id", id, "reason", reason, "jobs", len(moving))
+	for _, j := range moving {
+		if err := c.redispatch(j, id); err != nil {
+			c.log.Error("cluster failover re-dispatch failed", "job", j.id, "error", err.Error())
+		}
+	}
+}
+
+// terminal mirrors simd's lifecycle: done, failed and cancelled jobs
+// never need failover.
+func terminal(s simd.State) bool {
+	return s == simd.StateDone || s == simd.StateFailed || s == simd.StateCancelled
+}
+
+// memberSubmit is the slice of a member's submit (or error) response
+// the router consumes.
+type memberSubmit struct {
+	simd.JobStatus
+	CacheHitNow bool   `json:"cache_hit_now"`
+	DedupedNow  bool   `json:"deduped_now"`
+	Error       string `json:"error"`
+}
+
+// SubmitResult is the router's submit response: the owning member's
+// status with the cluster-scoped job id and node attribution.
+type SubmitResult struct {
+	simd.JobStatus
+	CacheHitNow bool `json:"cache_hit_now"`
+	DedupedNow  bool `json:"deduped_now"`
+	// Node is the member the job was dispatched to.
+	Node string `json:"node_id"`
+}
+
+// Submit validates, canonicalizes and routes one spec document.
+func (c *Cluster) Submit(body []byte) (*SubmitResult, error) {
+	var spec simd.JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return nil, statusErrf(http.StatusBadRequest, "bad job spec: %v", err)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, statusErrf(http.StatusBadRequest, "%v", err)
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		return nil, statusErrf(http.StatusBadRequest, "%v", err)
+	}
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return nil, statusErrf(http.StatusInternalServerError, "%v", err)
+	}
+
+	m, ms, err := c.dispatch(hash, raw, "")
+	if err != nil {
+		return nil, err
+	}
+	j := &clusterJob{
+		id:   fmt.Sprintf("c%d", c.nextID.Add(1)),
+		hash: hash,
+		spec: raw,
+	}
+	c.mu.Lock()
+	j.node, j.localID, j.last = m.ID(), ms.ID, ms.JobStatus
+	c.jobs[j.id] = j
+	c.jobSeq = append(c.jobSeq, j)
+	if ms.State == simd.StateDone {
+		c.resident[hash] = m.ID()
+	}
+	c.mu.Unlock()
+	c.submitted.Inc()
+
+	res := &SubmitResult{JobStatus: ms.JobStatus, CacheHitNow: ms.CacheHitNow, DedupedNow: ms.DedupedNow, Node: m.ID()}
+	res.ID = j.id
+	return res, nil
+}
+
+// candidates orders eligible members for a hash: the cache-resident
+// owner first (routing to warm caches beats ring rank), then the
+// rendezvous rank, capped at Replicas attempts.
+func (c *Cluster) candidates(hash, exclude string) []*Member {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.members))
+	for id, m := range c.members {
+		if id != exclude && m.eligible() {
+			ids = append(ids, id)
+		}
+	}
+	ranked := Rank(ids, hash)
+	if owner, ok := c.resident[hash]; ok && owner != exclude {
+		for i, id := range ranked {
+			if id == owner && i > 0 {
+				copy(ranked[1:i+1], ranked[:i])
+				ranked[0] = owner
+				break
+			}
+		}
+	}
+	if c.opts.Replicas > 0 && len(ranked) > c.opts.Replicas {
+		ranked = ranked[:c.opts.Replicas]
+	}
+	out := make([]*Member, len(ranked))
+	for i, id := range ranked {
+		out[i] = c.members[id]
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// dispatch submits the canonical spec to the best candidate, walking
+// down the rank on capacity or transport failures. A member answering
+// 429 is skipped (the next replica absorbs the spill); only when every
+// candidate is saturated does the caller see 429, carrying the
+// smallest Retry-After any member offered.
+func (c *Cluster) dispatch(hash string, raw []byte, exclude string) (*Member, memberSubmit, error) {
+	var (
+		sawFull    bool
+		retryAfter string
+		lastErr    error
+	)
+	cands := c.candidates(hash, exclude)
+	for _, m := range cands {
+		var ms memberSubmit
+		code, hdr, err := m.api().PostJSON("/jobs", raw, &ms)
+		if err != nil {
+			c.proxyErrors.Inc()
+			lastErr = err
+			continue
+		}
+		switch {
+		case code == http.StatusOK || code == http.StatusAccepted:
+			return m, ms, nil
+		case code == http.StatusTooManyRequests:
+			sawFull = true
+			if v := hdr.Get("Retry-After"); v != "" && (retryAfter == "" || v < retryAfter) {
+				retryAfter = v
+			}
+		case code == http.StatusBadRequest:
+			// A spec the member rejects is a client error, not a routing
+			// problem; trying replicas would just repeat it.
+			return nil, ms, statusErrf(code, "%s", ms.Error)
+		default:
+			lastErr = fmt.Errorf("member %s: status %d: %s", m.ID(), code, ms.Error)
+		}
+	}
+	if sawFull {
+		return nil, memberSubmit{}, &StatusError{
+			Code: http.StatusTooManyRequests, Msg: "every live replica is at capacity", RetryAfter: retryAfter,
+		}
+	}
+	if lastErr != nil {
+		return nil, memberSubmit{}, statusErrf(http.StatusServiceUnavailable, "no live replica accepted the job: %v", lastErr)
+	}
+	return nil, memberSubmit{}, statusErrf(http.StatusServiceUnavailable, "no live replica available (%d members eligible)", len(cands))
+}
+
+// redispatch moves one job off its (dead or draining) owner: the
+// canonical spec is re-submitted to the next candidate in its rank.
+// The shared store makes this idempotent — work the old owner finished
+// resolves as a store hit on the new one.
+func (c *Cluster) redispatch(j *clusterJob, exclude string) error {
+	m, ms, err := c.dispatch(j.hash, j.spec, exclude)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	j.node, j.localID, j.last = m.ID(), ms.ID, ms.JobStatus
+	j.redispatches++
+	if ms.State == simd.StateDone {
+		c.resident[j.hash] = m.ID()
+	}
+	c.mu.Unlock()
+	c.redispatches.Inc()
+	c.log.Info("cluster job re-dispatched", "job", j.id, "to", m.ID(), "state", string(ms.State))
+	return nil
+}
+
+// JobView is the wire form of one cluster job.
+type JobView struct {
+	simd.JobStatus
+	// Node is the member currently owning the job.
+	Node string `json:"node_id"`
+	// Redispatches counts failover moves this job survived.
+	Redispatches int `json:"redispatches,omitempty"`
+	// Stale marks a status served from the router's last observation
+	// because the owner is unreachable.
+	Stale bool `json:"stale,omitempty"`
+}
+
+func (c *Cluster) view(j *clusterJob, stale bool) JobView {
+	c.mu.Lock()
+	v := JobView{JobStatus: j.last, Node: j.node, Redispatches: j.redispatches, Stale: stale}
+	c.mu.Unlock()
+	v.ID = j.id
+	return v
+}
+
+// job resolves a cluster job id.
+func (c *Cluster) job(cid string) (*clusterJob, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[cid]
+	if !ok {
+		return nil, statusErrf(http.StatusNotFound, "unknown job %q", cid)
+	}
+	return j, nil
+}
+
+// owner returns the member currently mapped to the job, its local job
+// id there, and the owning node id (valid even when the member lookup
+// fails).
+func (c *Cluster) owner(j *clusterJob) (*Member, string, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members[j.node], j.localID, j.node
+}
+
+// observe folds a freshly proxied status into the job record.
+func (c *Cluster) observe(j *clusterJob, st simd.JobStatus) {
+	c.mu.Lock()
+	j.last = st
+	if st.State == simd.StateDone {
+		c.resident[j.hash] = j.node
+	}
+	c.mu.Unlock()
+}
+
+// Job returns one job's live status, proxied from its owner. When the
+// owner is gone the job is re-dispatched if still unfinished;
+// finished jobs answer from the router's last observation.
+func (c *Cluster) Job(cid string) (JobView, error) {
+	j, err := c.job(cid)
+	if err != nil {
+		return JobView{}, err
+	}
+	m, localID, node := c.owner(j)
+	if m != nil && m.reachable() {
+		var st simd.JobStatus
+		err := m.api().GetJSON("/jobs/"+localID, &st)
+		if err == nil {
+			c.observe(j, st)
+			return c.view(j, false), nil
+		}
+		c.proxyErrors.Inc()
+	}
+	c.mu.Lock()
+	fin := terminal(j.last.State)
+	c.mu.Unlock()
+	if fin {
+		return c.view(j, true), nil
+	}
+	if err := c.redispatch(j, node); err != nil {
+		return JobView{}, err
+	}
+	return c.view(j, false), nil
+}
+
+// Jobs lists every cluster job, refreshed against the reachable
+// members in one fan-out (one /jobs listing per member, not one call
+// per job).
+func (c *Cluster) Jobs() []JobView {
+	c.refreshJobs()
+	c.mu.Lock()
+	seq := append([]*clusterJob(nil), c.jobSeq...)
+	c.mu.Unlock()
+	out := make([]JobView, len(seq))
+	for i, j := range seq {
+		out[i] = c.view(j, false)
+	}
+	return out
+}
+
+// refreshJobs folds each reachable member's job listing into the
+// cluster records.
+func (c *Cluster) refreshJobs() {
+	type listing struct {
+		node string
+		jobs []simd.JobStatus
+	}
+	c.mu.Lock()
+	ms := make([]*Member, 0, len(c.members))
+	for _, m := range c.members {
+		ms = append(ms, m)
+	}
+	c.mu.Unlock()
+	ch := make(chan listing, len(ms))
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		if !m.reachable() {
+			continue
+		}
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			var resp struct {
+				Jobs []simd.JobStatus `json:"jobs"`
+			}
+			if err := m.api().GetJSON("/jobs", &resp); err == nil {
+				ch <- listing{node: m.ID(), jobs: resp.Jobs}
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(ch)
+	byOwner := make(map[string]simd.JobStatus)
+	for l := range ch {
+		for _, st := range l.jobs {
+			byOwner[l.node+"/"+st.ID] = st
+		}
+	}
+	c.mu.Lock()
+	for _, j := range c.jobSeq {
+		if st, ok := byOwner[j.node+"/"+j.localID]; ok {
+			j.last = st
+			if st.State == simd.StateDone {
+				c.resident[j.hash] = j.node
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Report fetches a job's canonical report from its owner. A dead
+// owner is survivable even after completion: the job is re-dispatched
+// and the shared store serves the identical bytes from the new owner.
+func (c *Cluster) Report(cid string) ([]byte, error) {
+	j, err := c.job(cid)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		m, localID, node := c.owner(j)
+		if m == nil || !m.reachable() {
+			if err := c.redispatch(j, node); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		code, data, _, err := m.api().GetRaw("/jobs/" + localID + "/report")
+		switch {
+		case err != nil:
+			c.proxyErrors.Inc()
+			if err := c.redispatch(j, node); err != nil {
+				return nil, err
+			}
+		case code == http.StatusOK:
+			return data, nil
+		case code == http.StatusNotFound:
+			// The owner restarted and no longer knows this local id;
+			// re-submit (an instant store hit if the work finished).
+			if err := c.redispatch(j, node); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, statusErrf(code, "job %s report: %s", cid, string(data))
+		}
+	}
+	return nil, statusErrf(http.StatusServiceUnavailable, "job %s: report unavailable after re-dispatch", cid)
+}
+
+// Cancel cancels a job on its current owner.
+func (c *Cluster) Cancel(cid string) (JobView, error) {
+	j, err := c.job(cid)
+	if err != nil {
+		return JobView{}, err
+	}
+	m, localID, node := c.owner(j)
+	if m == nil || !m.reachable() {
+		return JobView{}, statusErrf(http.StatusServiceUnavailable, "job %s: owner %s unreachable", cid, node)
+	}
+	var st simd.JobStatus
+	code, err := m.api().Delete("/jobs/"+localID, &st)
+	if err != nil {
+		c.proxyErrors.Inc()
+		return JobView{}, statusErrf(http.StatusServiceUnavailable, "%v", err)
+	}
+	if code != http.StatusOK {
+		return JobView{}, statusErrf(code, "job %s: cancel refused by %s", cid, node)
+	}
+	c.observe(j, st)
+	return c.view(j, false), nil
+}
+
+// NodeStats pairs a member's membership view with its latest service
+// stats (nil when the member could not be scraped).
+type NodeStats struct {
+	NodeStatus
+	Stats *simd.Stats `json:"stats,omitempty"`
+}
+
+// Stats is the cluster-level service snapshot: the field-wise sum of
+// every reachable member's stats (the embedded simd.Stats — so simtop
+// and the smoke scripts read a cluster exactly like one big daemon),
+// the router's own counters, and the per-node breakdown the totals
+// were summed from. Totals and breakdown come from the same scrape, so
+// total == Σ nodes[].stats holds within one response.
+type Stats struct {
+	simd.Stats
+	ClusterJobs   int         `json:"cluster_jobs"`
+	Submitted     int64       `json:"cluster_submitted"`
+	Failovers     int64       `json:"cluster_failovers"`
+	Redispatches  int64       `json:"cluster_redispatches"`
+	ResidentSpecs int         `json:"resident_specs"`
+	Nodes         []NodeStats `json:"nodes"`
+}
+
+// Stats scrapes every reachable member once and sums.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	ms := make([]*Member, 0, len(c.order))
+	for _, id := range c.order {
+		ms = append(ms, c.members[id])
+	}
+	jobs := len(c.jobSeq)
+	resident := len(c.resident)
+	c.mu.Unlock()
+
+	nodes := make([]NodeStats, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		nodes[i].NodeStatus = m.snapshot()
+		if m.State() == MemberDown {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *Member) {
+			defer wg.Done()
+			var st simd.Stats
+			if err := m.api().GetJSON("/stats", &st); err == nil {
+				nodes[i].Stats = &st
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := Stats{
+		ClusterJobs: jobs, Submitted: c.submitted.Value(),
+		Failovers: c.failovers.Value(), Redispatches: c.redispatches.Value(),
+		ResidentSpecs: resident, Nodes: nodes,
+	}
+	for _, n := range nodes {
+		if n.Stats != nil {
+			sumStats(&out.Stats, n.Stats)
+		}
+	}
+	out.StartedAt = c.started
+	out.UptimeSeconds = time.Since(c.started).Seconds()
+	return out
+}
+
+// sumStats folds one member's stats into the cluster totals. Counters
+// and levels add; note that with a shared store directory the summed
+// store bytes count each member's view of the same files.
+func sumStats(into *simd.Stats, s *simd.Stats) {
+	into.Workers += s.Workers
+	into.WorkersBusy += s.WorkersBusy
+	into.QueueCap += s.QueueCap
+	into.QueueLen += s.QueueLen
+	into.Jobs += s.Jobs
+	if into.ByState == nil {
+		into.ByState = make(map[string]int)
+	}
+	for k, v := range s.ByState {
+		into.ByState[k] += v
+	}
+	into.Executions += s.Executions
+	into.DedupHits += s.DedupHits
+	into.Rejected += s.Rejected
+	into.DeadlineExceeded += s.DeadlineExceeded
+	into.Panics += s.Panics
+	into.Recovered += s.Recovered
+
+	into.Cache.Entries += s.Cache.Entries
+	into.Cache.Bytes += s.Cache.Bytes
+	into.Cache.Budget += s.Cache.Budget
+	into.Cache.Hits += s.Cache.Hits
+	into.Cache.Misses += s.Cache.Misses
+	into.Cache.Evictions += s.Cache.Evictions
+	into.Cache.Puts += s.Cache.Puts
+
+	if s.Store != nil {
+		if into.Store == nil {
+			into.Store = &store.Stats{}
+		}
+		into.Store.Entries += s.Store.Entries
+		into.Store.Bytes += s.Store.Bytes
+		into.Store.MaxBytes += s.Store.MaxBytes
+		into.Store.Hits += s.Store.Hits
+		into.Store.Misses += s.Store.Misses
+		into.Store.Puts += s.Store.Puts
+		into.Store.PutErrors += s.Store.PutErrors
+		into.Store.Quarantined += s.Store.Quarantined
+		into.Store.Evictions += s.Store.Evictions
+		into.Store.Skipped += s.Store.Skipped
+		into.Store.Degraded = into.Store.Degraded || s.Store.Degraded
+	}
+}
+
+// MemberMetrics scrapes every reachable member's /metrics and returns
+// the merged snapshot (counters summed across the cluster).
+func (c *Cluster) MemberMetrics() *obs.Snapshot {
+	c.mu.Lock()
+	ms := make([]*Member, 0, len(c.members))
+	for _, m := range c.members {
+		ms = append(ms, m)
+	}
+	c.mu.Unlock()
+	snaps := make([]*obs.Snapshot, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		if !m.reachable() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *Member) {
+			defer wg.Done()
+			if snap, err := m.api().Metrics(); err == nil {
+				snaps[i] = snap
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return obs.MergeSnapshots(snaps...)
+}
+
+// probeClient is split out for Member so the health loop can use a
+// tighter timeout than proxied requests.
+func (m *Member) probeClient() *simdclient.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.probe
+}

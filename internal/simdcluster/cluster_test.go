@@ -1,0 +1,528 @@
+package simdcluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simd"
+	"repro/internal/store"
+)
+
+// specJSON builds a small deterministic spec; seed varies the content
+// address (and therefore the rendezvous placement).
+func specJSON(seed uint64, endTime float64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"nodes":2,"workers_per_node":2,"lps_per_worker":4,"end_time":%g,"seed":%d}`,
+		endTime, seed))
+}
+
+// hashFor computes the content address the router will route by.
+func hashFor(t *testing.T, seed uint64, endTime float64) string {
+	t.Helper()
+	h, err := simd.JobSpec{Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 4, EndTime: endTime, Seed: seed}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// seedRankedTo finds a seed whose spec rendezvous-ranks target first
+// among ids — the deterministic way to steer placement in tests.
+func seedRankedTo(t *testing.T, ids []string, target string, endTime float64, from uint64) uint64 {
+	t.Helper()
+	for seed := from; seed < from+10000; seed++ {
+		if Rank(ids, hashFor(t, seed, endTime))[0] == target {
+			return seed
+		}
+	}
+	t.Fatalf("no seed in [%d,%d) ranks %s first", from, from+10000, target)
+	return 0
+}
+
+// testNode is one in-process member: a real simd server on an
+// httptest listener, sharing the cluster's store directory.
+type testNode struct {
+	id     string
+	srv    *simd.Server
+	ts     *httptest.Server
+	st     *store.Store
+	killed bool
+}
+
+// kill simulates kill -9 for the router's purposes: the listener drops
+// (refused connections) without any graceful drain.
+func (n *testNode) kill() {
+	if !n.killed {
+		n.killed = true
+		n.ts.CloseClientConnections()
+		n.ts.Close()
+	}
+}
+
+// newTestCluster builds n members over one shared store dir and a
+// fast-probing cluster, and blocks until every member passes the gate.
+func newTestCluster(t *testing.T, n, workers, queue int) (*Cluster, []*testNode) {
+	t.Helper()
+	dir := t.TempDir()
+	nodes := make([]*testNode, n)
+	c := New(Options{HealthInterval: 20 * time.Millisecond, FailThreshold: 2, ProbeTimeout: time.Second})
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := simd.NewServer(simd.Options{Workers: workers, QueueDepth: queue, Store: st, NodeID: id})
+		ts := httptest.NewServer(srv.Handler())
+		nodes[i] = &testNode{id: id, srv: srv, ts: ts, st: st}
+		c.AddMember(id, ts.URL, 0)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		for _, nd := range nodes {
+			nd.kill()
+			// Close waits for admitted jobs; cancel leftovers (blockers)
+			// first so teardown never hangs on a long simulation.
+			for _, j := range nd.srv.Jobs() {
+				nd.srv.Cancel(j.ID())
+			}
+			nd.srv.Close()
+			nd.st.Close()
+		}
+	})
+	for _, nd := range nodes {
+		if err := c.WaitUp(nd.id, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, nodes
+}
+
+func memberIDs(nodes []*testNode) []string {
+	ids := make([]string, len(nodes))
+	for i, nd := range nodes {
+		ids[i] = nd.id
+	}
+	return ids
+}
+
+func nodeByID(t *testing.T, nodes []*testNode, id string) *testNode {
+	t.Helper()
+	for _, nd := range nodes {
+		if nd.id == id {
+			return nd
+		}
+	}
+	t.Fatalf("unknown node %s", id)
+	return nil
+}
+
+// waitState polls a cluster job until it reaches want.
+func waitState(t *testing.T, c *Cluster, cid string, want simd.State) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var v JobView
+	var err error
+	for time.Now().Before(deadline) {
+		v, err = c.Job(cid)
+		if err == nil && v.State == want {
+			return v
+		}
+		if err == nil && terminal(v.State) && v.State != want {
+			t.Fatalf("job %s settled %s (%s), want %s", cid, v.State, v.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (last: %+v err %v)", cid, want, v, err)
+	return JobView{}
+}
+
+func waitMemberState(t *testing.T, c *Cluster, id string, want MemberState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, ok := c.Member(id); ok && m.State() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("member %s never reached %s", id, want)
+}
+
+func TestRankDeterministicAndMinimallyDisruptive(t *testing.T) {
+	ids := []string{"n1", "n2", "n3", "n4"}
+	key := "a1b2c3"
+	r1 := Rank(ids, key)
+	r2 := Rank([]string{"n4", "n2", "n1", "n3"}, key)
+	if strings.Join(r1, ",") != strings.Join(r2, ",") {
+		t.Fatalf("rank depends on input order: %v vs %v", r1, r2)
+	}
+	// Rendezvous property: removing one node only promotes the others,
+	// never reorders them.
+	without := Rank([]string{"n1", "n2", "n4"}, key)
+	var filtered []string
+	for _, id := range r1 {
+		if id != "n3" {
+			filtered = append(filtered, id)
+		}
+	}
+	if strings.Join(without, ",") != strings.Join(filtered, ",") {
+		t.Fatalf("removal reshuffled survivors: %v vs %v", without, filtered)
+	}
+	// Different keys spread: among many keys every node wins sometimes.
+	wins := map[string]int{}
+	for seed := 0; seed < 200; seed++ {
+		wins[Rank(ids, fmt.Sprintf("key-%d", seed))[0]]++
+	}
+	for _, id := range ids {
+		if wins[id] == 0 {
+			t.Fatalf("node %s never ranked first across 200 keys: %v", id, wins)
+		}
+	}
+	if Rank(nil, key) != nil {
+		t.Fatal("empty membership must rank to nil")
+	}
+}
+
+func TestHealthGateBeforeTraffic(t *testing.T) {
+	c := New(Options{HealthInterval: 20 * time.Millisecond, FailThreshold: 2})
+	defer c.Close()
+	// A member that never answers stays "starting": registered is not up.
+	c.AddMember("ghost", "http://127.0.0.1:1", 0)
+	if err := c.WaitUp("ghost", 200*time.Millisecond); err == nil {
+		t.Fatal("WaitUp succeeded for an unreachable member")
+	}
+	if m, _ := c.Member("ghost"); m.State() != MemberStarting {
+		t.Fatalf("unreachable member state = %s, want starting", m.State())
+	}
+	// No eligible members: submissions answer 503, healthz says degraded.
+	if _, err := c.Submit(specJSON(1, 5)); err == nil {
+		t.Fatal("submit with no live member must fail")
+	} else if se := err.(*StatusError); se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit error code = %d, want 503", se.Code)
+	}
+	rt := httptest.NewServer(c.Handler())
+	defer rt.Close()
+	resp, err := http.Get(rt.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Status  string `json:"status"`
+		NodesUp int    `json:"nodes_up"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil || hz.Status != "degraded" || hz.NodesUp != 0 {
+		t.Fatalf("healthz with no members up: %+v err %v", hz, err)
+	}
+	// An identity mismatch is a probe failure: a server answering with
+	// the wrong node_id must never pass the gate.
+	imp := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","node_id":"someone-else"}`))
+	}))
+	defer imp.Close()
+	c.AddMember("n9", imp.URL, 0)
+	if err := c.WaitUp("n9", 300*time.Millisecond); err == nil {
+		t.Fatal("member with mismatched node_id passed the health gate")
+	}
+}
+
+func TestRoutingIsContentAddressedAndCacheAware(t *testing.T) {
+	c, nodes := newTestCluster(t, 3, 2, 16)
+	ids := memberIDs(nodes)
+
+	// Placement follows the rendezvous rank of the content address.
+	seed := seedRankedTo(t, ids, "n2", 5, 100)
+	res, err := c.Submit(specJSON(seed, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != "n2" {
+		t.Fatalf("job routed to %s, want rank winner n2", res.Node)
+	}
+	waitState(t, c, res.ID, simd.StateDone)
+
+	// Resubmission routes back to the owner and is served from cache:
+	// zero additional executions anywhere in the cluster.
+	before := c.Stats()
+	re, err := c.Submit(specJSON(seed, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Node != "n2" || !re.CacheHitNow || re.State != simd.StateDone {
+		t.Fatalf("resubmission: node %s cacheHit %v state %s, want warm n2 hit", re.Node, re.CacheHitNow, re.State)
+	}
+	after := c.Stats()
+	if after.Executions != before.Executions {
+		t.Fatalf("resubmission re-executed: %d -> %d", before.Executions, after.Executions)
+	}
+
+	// The two cluster jobs return byte-identical reports.
+	r1, err := c.Report(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Report(re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) || len(r1) == 0 {
+		t.Fatal("reports for one spec are not byte-identical")
+	}
+}
+
+func TestSubmitSpillsOnSaturatedMember(t *testing.T) {
+	c, nodes := newTestCluster(t, 2, 1, 1)
+	ids := memberIDs(nodes)
+
+	// Saturate n1: one running blocker plus one queued (workers=1,
+	// queue=1).
+	var blockers []string
+	for i := 0; i < 2; i++ {
+		seed := seedRankedTo(t, ids, "n1", 50000, uint64(1000+i*10000))
+		res, err := c.Submit(specJSON(seed, 50000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Node != "n1" {
+			t.Fatalf("blocker %d routed to %s, want n1", i, res.Node)
+		}
+		blockers = append(blockers, res.ID)
+	}
+	// A fast job ranking n1 first spills to n2 instead of bouncing 429.
+	seed := seedRankedTo(t, ids, "n1", 5, 30000)
+	res, err := c.Submit(specJSON(seed, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != "n2" {
+		t.Fatalf("spill went to %s, want n2", res.Node)
+	}
+	waitState(t, c, res.ID, simd.StateDone)
+	for _, cid := range blockers {
+		if _, err := c.Cancel(cid); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFailoverOnNodeDeath(t *testing.T) {
+	c, nodes := newTestCluster(t, 3, 1, 16)
+	ids := memberIDs(nodes)
+
+	// A fast job completes somewhere; its owner becomes the victim.
+	res, err := c.Submit(specJSON(7, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, res.ID, simd.StateDone)
+	doneReport, err := c.Report(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Node
+
+	// Pin the victim with a running blocker and a queued fast job.
+	bseed := seedRankedTo(t, ids, victim, 50000, 500)
+	blocker, err := c.Submit(specJSON(bseed, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocker.Node != victim {
+		t.Fatalf("blocker routed to %s, want %s", blocker.Node, victim)
+	}
+	waitState(t, c, blocker.ID, simd.StateRunning)
+	qseed := seedRankedTo(t, ids, victim, 6, 800)
+	queued, err := c.Submit(specJSON(qseed, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Node != victim {
+		t.Fatalf("queued job routed to %s, want %s", queued.Node, victim)
+	}
+
+	// Kill the victim. The health loop demotes it and fails its
+	// unfinished jobs over to live replicas.
+	nodeByID(t, nodes, victim).kill()
+	waitMemberState(t, c, victim, MemberDown)
+
+	// The blocker resumes elsewhere; free the stolen worker by
+	// cancelling it through the cluster (retry while failover races).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Cancel(blocker.ID); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never became cancellable after failover: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The queued job completes on a surviving node.
+	v := waitState(t, c, queued.ID, simd.StateDone)
+	if v.Node == victim {
+		t.Fatalf("queued job finished on the dead node %s", victim)
+	}
+	if v.Redispatches == 0 {
+		t.Fatal("queued job shows zero redispatches after its owner died")
+	}
+
+	// The job that finished on the victim BEFORE the kill is still
+	// serveable: its report re-dispatches and the shared store returns
+	// the identical bytes.
+	st, err := c.Job(res.ID)
+	if err != nil || st.State != simd.StateDone {
+		t.Fatalf("dead owner's done job status: %+v err %v", st, err)
+	}
+	if !st.Stale {
+		t.Fatal("status of a done job on a dead owner should be marked stale")
+	}
+	got, err := c.Report(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, doneReport) {
+		t.Fatal("report after owner death is not byte-identical")
+	}
+
+	cs := c.Stats()
+	if cs.Failovers == 0 || cs.Redispatches < 2 {
+		t.Fatalf("failovers %d redispatches %d, want >=1 and >=2", cs.Failovers, cs.Redispatches)
+	}
+}
+
+func TestDrainMovesWorkAndKeepsNodeReadable(t *testing.T) {
+	// Two workers per node so the failed-over blocker cannot starve the
+	// fast jobs that follow it onto the surviving member.
+	c, nodes := newTestCluster(t, 2, 2, 16)
+	ids := memberIDs(nodes)
+
+	bseed := seedRankedTo(t, ids, "n1", 50000, 2000)
+	blocker, err := c.Submit(specJSON(bseed, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocker.Node != "n1" {
+		t.Fatalf("blocker on %s, want n1", blocker.Node)
+	}
+	waitState(t, c, blocker.ID, simd.StateRunning)
+
+	if err := c.Drain("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	// The blocker moved off the draining node.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Job(blocker.ID)
+		if err == nil && v.Node == "n2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never moved off the draining node: %+v err %v", v, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// New work never routes to a draining member, even when it ranks
+	// first.
+	seed := seedRankedTo(t, ids, "n1", 5, 4000)
+	res, err := c.Submit(specJSON(seed, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != "n2" {
+		t.Fatalf("drained node received new work (%s)", res.Node)
+	}
+	waitState(t, c, res.ID, simd.StateDone)
+	// A draining node is still a member: /nodes reports it up+draining.
+	for _, n := range c.Members() {
+		if n.ID == "n1" && (n.State != MemberUp || !n.Draining) {
+			t.Fatalf("draining node snapshot: %+v", n)
+		}
+	}
+
+	// Undrain: the node takes traffic again.
+	if err := c.Drain("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.Submit(specJSON(seed+50000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res2
+	back, err := c.Submit(specJSON(seedRankedTo(t, ids, "n1", 5, 60000), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node != "n1" {
+		t.Fatalf("undrained node still shunned (%s)", back.Node)
+	}
+	if _, err := c.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterStatsAndMetricsAggregate(t *testing.T) {
+	c, _ := newTestCluster(t, 3, 2, 16)
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := c.Submit(specJSON(seed, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, c, res.ID, simd.StateDone)
+	}
+
+	// Totals must equal the per-node breakdown from the same response.
+	cs := c.Stats()
+	var sum simd.Stats
+	scraped := 0
+	for _, n := range cs.Nodes {
+		if n.Stats != nil {
+			scraped++
+			sumStats(&sum, n.Stats)
+		}
+	}
+	if scraped != 3 {
+		t.Fatalf("scraped %d/3 members", scraped)
+	}
+	if cs.Executions != sum.Executions || cs.Workers != sum.Workers ||
+		cs.Jobs != sum.Jobs || cs.Cache.Hits != sum.Cache.Hits ||
+		cs.Store == nil || sum.Store == nil || cs.Store.Puts != sum.Store.Puts {
+		t.Fatalf("totals diverge from node breakdown:\n total %+v\n sum   %+v", cs.Stats, sum)
+	}
+	if cs.Executions != 5 {
+		t.Fatalf("cluster executions = %d, want 5 (one per unique spec)", cs.Executions)
+	}
+	if cs.Submitted != 5 || cs.ClusterJobs != 5 {
+		t.Fatalf("router accounting: %+v", cs)
+	}
+
+	// /metrics merges member families under the router's own.
+	rt := httptest.NewServer(c.Handler())
+	defer rt.Close()
+	resp, err := http.Get(rt.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Get("simdcluster_submitted_total"); !ok || v != 5 {
+		t.Fatalf("simdcluster_submitted_total = %v, %v", v, ok)
+	}
+	if v := snap.Sum("simd_executions_total"); v != 5 {
+		t.Fatalf("merged simd_executions_total = %v, want 5", v)
+	}
+	if v, ok := snap.Get("simdcluster_nodes", "state", "up"); !ok || v != 3 {
+		t.Fatalf("simdcluster_nodes{state=up} = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,45 @@
+package simdcluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Rank orders node ids for a key by rendezvous (highest-random-weight)
+// hashing: each node scores sha256(node \x00 key) and the list is
+// sorted by descending score. Every router ranks identically with no
+// shared state, each key gets an effectively uniform independent
+// permutation, and removing a node only reassigns the keys it owned —
+// the failover path is simply "next id in the rank". The key here is
+// the job's canonical spec hash, so placement is content-addressed:
+// resubmitting a spec lands on the node whose caches already hold it.
+func Rank(nodes []string, key string) []string {
+	if len(nodes) == 0 {
+		return nil
+	}
+	type scored struct {
+		id    string
+		score uint64
+	}
+	sc := make([]scored, len(nodes))
+	for i, id := range nodes {
+		h := sha256.New()
+		h.Write([]byte(id))
+		h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+		h.Write([]byte(key))
+		sum := h.Sum(nil)
+		sc[i] = scored{id: id, score: binary.BigEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].id < sc[j].id
+	})
+	out := make([]string, len(sc))
+	for i, s := range sc {
+		out[i] = s.id
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package simdcluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxSpecBytes mirrors the member daemons' submission bound.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the router's HTTP API — deliberately shaped like one
+// simd daemon, so clients (and simtop) point at a cluster unchanged:
+//
+//	POST   /jobs                 submit a JobSpec; routed by content address
+//	GET    /jobs                 list cluster jobs with node attribution
+//	GET    /jobs/{id}            one job's status (proxied from its owner)
+//	GET    /jobs/{id}/report     the canonical report (re-dispatched if the owner died)
+//	DELETE /jobs/{id}            cancel
+//	GET    /nodes                membership: state, address, pid, failures
+//	POST   /nodes/{id}/drain     move the node's work off and stop routing to it
+//	DELETE /nodes/{id}/drain     re-admit the node
+//	GET    /stats                summed member stats + per-node breakdown
+//	GET    /metrics              router metrics + merged member metrics
+//	GET    /healthz              router liveness with member counts
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs", c.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/report", c.handleReport)
+	mux.HandleFunc("DELETE /jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /nodes", c.handleNodes)
+	mux.HandleFunc("POST /nodes/{id}/drain", c.handleDrain(true))
+	mux.HandleFunc("DELETE /nodes/{id}/drain", c.handleDrain(false))
+	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// writeErr renders an error, honoring StatusError codes and headers.
+func writeErr(w http.ResponseWriter, err error) {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		se = &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	if se.RetryAfter != "" {
+		w.Header().Set("Retry-After", se.RetryAfter)
+	}
+	writeJSON(w, se.Code, map[string]string{"error": se.Msg})
+}
+
+func (c *Cluster) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeErr(w, statusErrf(http.StatusBadRequest, "reading spec: %v", err))
+		return
+	}
+	res, err := c.Submit(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if res.CacheHitNow || res.DedupedNow {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, res)
+}
+
+func (c *Cluster) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": c.Jobs()})
+}
+
+func (c *Cluster) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, err := c.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (c *Cluster) handleReport(w http.ResponseWriter, r *http.Request) {
+	data, err := c.Report(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (c *Cluster) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := c.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (c *Cluster) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": c.Members()})
+}
+
+func (c *Cluster) handleDrain(on bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := c.Drain(id, on); err != nil {
+			writeErr(w, err)
+			return
+		}
+		m, _ := c.Member(id)
+		writeJSON(w, http.StatusOK, m.snapshot())
+	}
+}
+
+func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleMetrics serves the router's own registry followed by the
+// merged member snapshots — one scrape shows the whole cluster.
+// Families don't collide: the router's are simdcluster_*, members'
+// are simd_*.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.reg.WritePrometheus(w)
+	c.MemberMetrics().WriteText(w)
+}
+
+// healthzResponse is the router's liveness document.
+type healthzResponse struct {
+	Status string `json:"status"`
+	NodeID string `json:"node_id,omitempty"`
+	// NodesUp / NodesTotal summarize gated membership.
+	NodesUp       int       `json:"nodes_up"`
+	NodesTotal    int       `json:"nodes_total"`
+	Build         obs.Build `json:"build"`
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	members := c.Members()
+	up := 0
+	for _, m := range members {
+		if m.State == MemberUp {
+			up++
+		}
+	}
+	resp := healthzResponse{
+		Status: "ok", NodeID: fmt.Sprintf("cluster(%d)", len(members)),
+		NodesUp: up, NodesTotal: len(members),
+		Build: obs.ReadBuild(), StartedAt: c.started,
+		UptimeSeconds: time.Since(c.started).Seconds(),
+	}
+	if up == 0 {
+		// Still answering — the router is alive — but with nobody to
+		// route to the cluster is degraded, and probes should say so.
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

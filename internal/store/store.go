@@ -276,52 +276,70 @@ func (s *Store) Put(hash string, payload []byte) error {
 		s.skipped.Add(1)
 		return nil
 	}
-	if err := s.write(hash, payload); err != nil {
+	oldPayload, replaced, err := s.write(hash, payload)
+	if err != nil {
 		s.putErrors.Add(1)
 		s.fail("put", err)
 		return err
 	}
 	s.ok()
 	s.puts.Add(1)
-	s.entries.Add(1)
-	s.bytes.Add(int64(len(payload)))
+	// Content-addressed entries are immutable in principle, but two
+	// daemons sharing a directory (or a journal replay) can republish
+	// the same hash. The object file is simply replaced, so account for
+	// the delta only — never double-count entries or bytes.
+	if replaced {
+		s.bytes.Add(int64(len(payload)) - oldPayload)
+	} else {
+		s.entries.Add(1)
+		s.bytes.Add(int64(len(payload)))
+	}
 	s.evict()
 	return nil
 }
 
-// write runs the publish protocol for one entry.
-func (s *Store) write(hash string, payload []byte) error {
+// write runs the publish protocol for one entry. It reports whether an
+// entry for hash already existed (and its old payload size), observed
+// under the cross-process lock immediately before the rename, so the
+// caller can keep entry/byte accounting replace-aware.
+func (s *Store) write(hash string, payload []byte) (oldPayload int64, replaced bool, err error) {
 	if err := s.fs.MkdirAll(filepath.Dir(s.objectPath(hash)), 0o755); err != nil {
-		return err
+		return 0, false, err
 	}
 	tmp, err := s.fs.CreateTemp(s.opts.Dir, "tmp-*")
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	name := tmp.Name()
 	cleanup := func() { tmp.Close(); s.fs.Remove(name) }
 	if _, err := tmp.Write(encode(payload)); err != nil {
 		cleanup()
-		return err
+		return 0, false, err
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
-		return err
+		return 0, false, err
 	}
 	if err := tmp.Close(); err != nil {
 		s.fs.Remove(name)
-		return err
+		return 0, false, err
 	}
 	if err := s.fs.Lock(s.lock); err != nil {
 		s.fs.Remove(name)
-		return err
+		return 0, false, err
 	}
 	defer s.fs.Unlock(s.lock)
+	if st, statErr := s.fs.Stat(s.objectPath(hash)); statErr == nil {
+		replaced = true
+		if oldPayload = st.Size() - int64(len(entryMagic)+hashLen+1); oldPayload < 0 {
+			oldPayload = 0
+		}
+	}
 	if err := s.fs.Rename(name, s.objectPath(hash)); err != nil {
 		s.fs.Remove(name)
-		return err
+		return 0, false, err
 	}
-	return nil
+	return oldPayload, replaced, nil
 }
 
 // quarantine moves a corrupt entry aside so it stops answering reads

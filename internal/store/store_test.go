@@ -336,6 +336,86 @@ func TestSharedDirTwoStores(t *testing.T) {
 	}
 }
 
+// TestPutRepublishDoesNotDoubleCount: republishing an existing hash
+// (journal replay, or a twin daemon racing on the same content)
+// replaces the object file in place — entry and byte accounting must
+// track the disk, not the number of Put calls.
+func TestPutRepublishDoesNotDoubleCount(t *testing.T) {
+	s := openTestStore(t, Options{Dir: t.TempDir()})
+	payload := []byte("same bytes every time")
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testHash(1), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 5 {
+		t.Fatalf("puts = %d, want 5", st.Puts)
+	}
+	if st.Entries != 1 || st.Bytes != int64(len(payload)) {
+		t.Fatalf("entries=%d bytes=%d after republish, want 1/%d", st.Entries, st.Bytes, len(payload))
+	}
+
+	// Replacing with a different-sized payload accounts for the delta.
+	bigger := append(append([]byte(nil), payload...), []byte("-grown")...)
+	if err := s.Put(testHash(1), bigger); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len(bigger)) {
+		t.Fatalf("entries=%d bytes=%d after resize, want 1/%d", st.Entries, st.Bytes, len(bigger))
+	}
+}
+
+// TestSharedDirNeverDoubleCountsBytes: two daemons hammer the same
+// content addresses in one directory. Only the publisher that actually
+// creates an entry may count it, so the combined accounting equals the
+// on-disk truth exactly — and no single daemon's view ever exceeds it.
+func TestSharedDirNeverDoubleCountsBytes(t *testing.T) {
+	dir := t.TempDir()
+	a := openTestStore(t, Options{Dir: dir})
+	b := openTestStore(t, Options{Dir: dir})
+
+	const n, rounds = 16, 4
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("shared-result-%03d", i)) }
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < n; i++ {
+					if err := s.Put(testHash(500+i), payload(i)); err != nil {
+						t.Errorf("put %d: %v", i, err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	diskEntries, diskBytes := a.scan()
+	if diskEntries != n {
+		t.Fatalf("disk holds %d entries, want %d", diskEntries, n)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Entries+sb.Entries != diskEntries || sa.Bytes+sb.Bytes != diskBytes {
+		t.Fatalf("combined accounting entries=%d bytes=%d, disk truth %d/%d (a=%+d/%d b=%d/%d)",
+			sa.Entries+sb.Entries, sa.Bytes+sb.Bytes, diskEntries, diskBytes,
+			sa.Entries, sa.Bytes, sb.Entries, sb.Bytes)
+	}
+	for name, st := range map[string]Stats{"a": sa, "b": sb} {
+		if st.Entries > diskEntries || st.Bytes > diskBytes {
+			t.Fatalf("store %s counted entries=%d bytes=%d, more than disk %d/%d",
+				name, st.Entries, st.Bytes, diskEntries, diskBytes)
+		}
+		if st.Puts != n*rounds {
+			t.Fatalf("store %s puts = %d, want %d", name, st.Puts, n*rounds)
+		}
+	}
+}
+
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(Options{}); err == nil {
 		t.Fatal("Open accepted an empty directory")

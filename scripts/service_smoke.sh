@@ -42,7 +42,7 @@ echo "smoke: building cmd/simd"
 go build -o "${WORK}/simd" ./cmd/simd
 
 echo "smoke: starting simd on ${BASE}"
-"${WORK}/simd" -addr "127.0.0.1:${PORT}" -workers 2 -cachesize 16 >"${WORK}/simd.log" 2>&1 &
+"${WORK}/simd" -addr "127.0.0.1:${PORT}" -node-id smoke-n1 -workers 2 -cachesize 16 >"${WORK}/simd.log" 2>&1 &
 SIMD_PID=$!
 
 for i in $(seq 1 100); do
@@ -51,6 +51,14 @@ for i in $(seq 1 100); do
   [[ "$i" == 100 ]] && fail "daemon never became healthy"
   sleep 0.1
 done
+
+# The daemon answers as the identity it was launched with — the cluster
+# health gate relies on this to catch mis-wired membership.
+NODE=$(curl -sf "${BASE}/healthz" | jq -r .node_id)
+[[ "${NODE}" == smoke-n1 ]] || fail "/healthz node_id=${NODE} (want smoke-n1)"
+NODE=$(curl -sf "${BASE}/stats" | jq -r .node_id)
+[[ "${NODE}" == smoke-n1 ]] || fail "/stats node_id=${NODE} (want smoke-n1)"
+echo "smoke: daemon identifies as smoke-n1"
 
 # --- first submission: executes for real -----------------------------
 CODE1=$(curl -s -o "${WORK}/sub1.json" -w '%{http_code}' \
