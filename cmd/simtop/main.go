@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +62,11 @@ type frame struct {
 	// health is /healthz's status: "ok", "degraded" (persistent store
 	// bypassed, results memory-only), or "" when the probe failed.
 	health string
+	// healthErr is the health probe's failure, when it had one. A
+	// *simdclient.StatusError here means the daemon is up but its
+	// health endpoint is answering 5xx — a different banner from
+	// "degraded", and from nothing listening at all.
+	healthErr error
 }
 
 // poll fetches one frame from the daemon.
@@ -71,6 +77,8 @@ func poll(c *simdclient.Client) (*frame, error) {
 	}
 	if hz, err := c.Health(); err == nil {
 		f.health = hz.Status // best-effort: an old daemon without the field still renders
+	} else {
+		f.healthErr = err
 	}
 	var list struct {
 		Jobs []simd.JobStatus `json:"jobs"`
@@ -99,10 +107,24 @@ func pollRetry(c *simdclient.Client, attempts int) (*frame, error) {
 			return e
 		},
 		func(attempt int, err error, delay time.Duration) {
-			fmt.Fprintf(os.Stderr, "simtop: poll failed (attempt %d/%d): %v; retrying in %s\n",
-				attempt, attempts, err, delay)
+			fmt.Fprintf(os.Stderr, "simtop: poll failed (attempt %d/%d): %s; retrying in %s\n",
+				attempt, attempts, describeErr(err), delay)
 		})
 	return f, err
+}
+
+// describeErr turns a poll failure into an operator-facing diagnosis:
+// "nothing is listening" and "the daemon answered 500" demand different
+// reactions, and the typed simdclient errors let us tell them apart.
+func describeErr(err error) string {
+	var se *simdclient.StatusError
+	switch {
+	case errors.As(err, &se):
+		return fmt.Sprintf("daemon answered HTTP %d on %s", se.Code, se.Path)
+	case simdclient.IsUnreachable(err):
+		return fmt.Sprintf("daemon unreachable (down or restarting?): %v", err)
+	}
+	return err.Error()
 }
 
 func run(base string, interval time.Duration, once bool, rows int) error {
@@ -140,7 +162,7 @@ func run(base string, interval time.Duration, once bool, rows int) error {
 			if delay > backoffCap || delay < interval {
 				delay = backoffCap
 			}
-			fmt.Printf("\x1b[Hsimtop: poll failed: %v (retry %d in %s)\x1b[0K\n", err, failures, delay)
+			fmt.Printf("\x1b[Hsimtop: poll failed: %s (retry %d in %s)\x1b[0K\n", describeErr(err), failures, delay)
 			continue
 		}
 		prev, cur = cur, next
@@ -179,9 +201,17 @@ func render(base string, prev, cur *frame, rows int) string {
 	}
 	fmt.Fprintf(&b, "simtop — %s   up %s   build %s\x1b[0K\n",
 		base, fmtDur(time.Duration(st.UptimeSeconds*float64(time.Second))), buildLabel)
-	if cur.health == "degraded" {
+	var se *simdclient.StatusError
+	switch {
+	case cur.health == "degraded":
 		// Reverse video: the one condition an operator must not miss.
 		b.WriteString("\x1b[7m DEGRADED — persistent store bypassed; results are memory-only \x1b[0m\x1b[0K\n")
+	case errors.As(cur.healthErr, &se):
+		// /stats answered but /healthz didn't: the daemon is up and
+		// actively failing its own health check — worse than degraded.
+		fmt.Fprintf(&b, "\x1b[7m UNHEALTHY — /healthz answered HTTP %d \x1b[0m\x1b[0K\n", se.Code)
+	case cur.healthErr != nil && simdclient.IsUnreachable(cur.healthErr):
+		b.WriteString("\x1b[7m UNHEALTHY — /healthz probe got no answer \x1b[0m\x1b[0K\n")
 	}
 	if len(st.Nodes) > 0 {
 		// Watching a cluster router: show member attribution.

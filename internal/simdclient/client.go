@@ -1,17 +1,28 @@
 // Package simdclient is the small HTTP client shared by everything
 // that talks to a simd daemon or a simdcluster router: the simtop
-// monitor, the cluster's health checks and proxy bookkeeping, and the
-// smoke tests' curl-free assertions. It deliberately stays generic —
-// callers decode into their own wire types — so it imports nothing
-// above the obs metrics parser and creates no dependency cycles.
+// monitor, the cluster's health checks and proxy bookkeeping, the
+// public SDK in pkg/client, and the smoke tests' curl-free assertions.
+// It deliberately stays generic — callers decode into their own wire
+// types — so it imports nothing above the obs metrics parser and
+// creates no dependency cycles.
+//
+// Failures are typed so callers can tell the two very different "it
+// didn't work" stories apart: a *StatusError means a reachable server
+// answered with a non-2xx status (the daemon is up but unhappy), while
+// IsUnreachable reports a transport-level failure — refused connection,
+// reset, DNS — meaning nothing answered at all. The simtop banner and
+// the cluster health gate branch on exactly this distinction.
 package simdclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -37,18 +48,91 @@ func New(base string) *Client {
 	}
 }
 
+// StatusError is a reachable server's non-2xx answer: the HTTP exchange
+// itself worked. Callers that treat certain statuses as protocol
+// answers (429 with Retry-After, 409 not-ready) branch on Code.
+type StatusError struct {
+	Method string
+	Path   string
+	Code   int
+	// Body is a bounded snippet of the response body, for error messages.
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("%s %s: HTTP %d", e.Method, e.Path, e.Code)
+	}
+	return fmt.Sprintf("%s %s: HTTP %d: %s", e.Method, e.Path, e.Code, e.Body)
+}
+
+// IsUnreachable reports whether err is a transport-level failure —
+// connection refused or reset, DNS failure, client timeout — rather
+// than an HTTP answer (*StatusError) or a body-decode problem. The Go
+// HTTP client wraps every transport failure in *url.Error, so that is
+// the discriminator. Note a cancelled request context also surfaces
+// this way; callers that cancel should check ctx.Err() first.
+func IsUnreachable(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// Do issues method on Base+path under ctx and returns the status code,
+// the full response body and the headers without interpreting them.
+// body is marshalled as JSON ([]byte and json.RawMessage pass through
+// verbatim; nil sends no body). A transport failure returns status 0
+// and an error for which IsUnreachable is true. Non-2xx statuses are
+// NOT errors here — Do is the raw exchange the typed helpers build on.
+func (c *Client) Do(ctx context.Context, method, path string, body any) (int, []byte, http.Header, error) {
+	var rd io.Reader
+	if body != nil {
+		var payload []byte
+		switch b := body.(type) {
+		case []byte:
+			payload = b
+		case json.RawMessage:
+			payload = b
+		default:
+			var err error
+			if payload, err = json.Marshal(body); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header, err
+}
+
 // GetJSON fetches Base+path and decodes the JSON body into v. Any
-// non-200 status is an error carrying the status line.
+// non-200 status is a *StatusError carrying the status and a body
+// snippet.
 func (c *Client) GetJSON(path string, v any) error {
-	resp, err := c.HTTP.Get(c.Base + path)
+	return c.GetJSONCtx(context.Background(), path, v)
+}
+
+// GetJSONCtx is GetJSON under a request context.
+func (c *Client) GetJSONCtx(ctx context.Context, path string, v any) error {
+	code, data, _, err := c.Do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	if code != http.StatusOK {
+		return &StatusError{Method: http.MethodGet, Path: path, Code: code, Body: truncate(data)}
 	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return json.Unmarshal(data, v)
 }
 
 // PostJSON posts body (marshalled as JSON; []byte and json.RawMessage
@@ -58,84 +142,51 @@ func (c *Client) GetJSON(path string, v any) error {
 // Non-2xx statuses are not errors — callers branch on the code (429
 // with Retry-After is a protocol answer, not a failure).
 func (c *Client) PostJSON(path string, body any, v any) (int, http.Header, error) {
-	var payload []byte
-	switch b := body.(type) {
-	case nil:
-	case []byte:
-		payload = b
-	case json.RawMessage:
-		payload = b
-	default:
-		var err error
-		if payload, err = json.Marshal(body); err != nil {
-			return 0, nil, err
-		}
-	}
-	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	code, data, hdr, err := c.Do(context.Background(), http.MethodPost, path, body)
 	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, resp.Header, err
+		return code, hdr, err
 	}
 	if v != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, v); err != nil {
-			return resp.StatusCode, resp.Header, fmt.Errorf("POST %s: %d with undecodable body %q: %w", path, resp.StatusCode, truncate(data), err)
+			return code, hdr, fmt.Errorf("POST %s: %d with undecodable body %q: %w", path, code, truncate(data), err)
 		}
 	}
-	return resp.StatusCode, resp.Header, nil
+	return code, hdr, nil
 }
 
 // Delete issues a DELETE to Base+path (the job-cancel verb), decoding a
 // JSON body into v when non-nil. Returns the status code.
 func (c *Client) Delete(path string, v any) (int, error) {
-	req, err := http.NewRequest(http.MethodDelete, c.Base+path, nil)
+	code, data, _, err := c.Do(context.Background(), http.MethodDelete, path, nil)
 	if err != nil {
-		return 0, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, err
+		return code, err
 	}
 	if v != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, v); err != nil {
-			return resp.StatusCode, err
+			return code, err
 		}
 	}
-	return resp.StatusCode, nil
+	return code, nil
 }
 
 // GetRaw fetches Base+path and returns the status, body bytes and
 // headers without interpreting them — the shape proxies need.
 func (c *Client) GetRaw(path string) (int, []byte, http.Header, error) {
-	resp, err := c.HTTP.Get(c.Base + path)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, data, resp.Header, err
+	code, data, hdr, err := c.Do(context.Background(), http.MethodGet, path, nil)
+	return code, data, hdr, err
 }
 
 // Metrics fetches and parses Base+/metrics (Prometheus text
 // exposition).
 func (c *Client) Metrics() (*obs.Snapshot, error) {
-	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	code, data, _, err := c.Do(context.Background(), http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	if code != http.StatusOK {
+		return nil, &StatusError{Method: http.MethodGet, Path: "/metrics", Code: code, Body: truncate(data)}
 	}
-	return obs.ParseText(resp.Body)
+	return obs.ParseText(bytes.NewReader(data))
 }
 
 // Health is the slice of a /healthz document shared by daemon and
@@ -146,7 +197,9 @@ type Health struct {
 }
 
 // Health fetches Base+/healthz. A reachable daemon that answers
-// anything but 200 is an error — health gating wants a hard signal.
+// anything but 200 is a *StatusError — health gating wants a hard
+// signal, and the monitor wants to render "answered 500" differently
+// from "nothing listening".
 func (c *Client) Health() (Health, error) {
 	var h Health
 	err := c.GetJSON("/healthz", &h)
@@ -213,8 +266,9 @@ func (c *Client) WaitHealthy(attempts int) (Health, error) {
 // truncate bounds an error-message body echo.
 func truncate(b []byte) string {
 	const max = 200
-	if len(b) > max {
-		return string(b[:max]) + "..."
+	s := strings.TrimSpace(string(b))
+	if len(s) > max {
+		return s[:max] + "..."
 	}
-	return string(b)
+	return s
 }

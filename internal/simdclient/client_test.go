@@ -1,6 +1,7 @@
 package simdclient
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -35,8 +36,16 @@ func TestGetPostDelete(t *testing.T) {
 	if err := c.GetJSON("/doc", &doc); err != nil || doc.N != 7 {
 		t.Fatalf("GetJSON: %+v err %v", doc, err)
 	}
-	if err := c.GetJSON("/missing", &doc); err == nil {
+	err := c.GetJSON("/missing", &doc)
+	if err == nil {
 		t.Fatal("GetJSON on 404 must error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("GetJSON on 404 returned %v, want *StatusError with code 404", err)
+	}
+	if IsUnreachable(err) {
+		t.Fatal("an HTTP 404 answer must not read as unreachable")
 	}
 
 	var echo map[string]any
@@ -86,6 +95,78 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 	if v, ok := snap.Get("x_total"); !ok || v != 41 {
 		t.Fatalf("metrics x_total = %v, %v", v, ok)
+	}
+}
+
+func TestTypedErrorsDistinguishUnreachableFromStatus(t *testing.T) {
+	// A server that answers 500: reachable, but erroring.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal meltdown", http.StatusInternalServerError)
+	}))
+	c := New(ts.URL)
+	_, err := c.Health()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("Health against a 500 returned %v, want *StatusError 500", err)
+	}
+	if se.Body == "" || IsUnreachable(err) {
+		t.Fatalf("StatusError should carry a body snippet and not read unreachable: %+v", se)
+	}
+	if _, err := c.Metrics(); !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("Metrics against a 500 returned %v, want *StatusError 500", err)
+	}
+
+	// The same URL with the server gone: nothing listening.
+	ts.Close()
+	_, err = c.Health()
+	if err == nil || !IsUnreachable(err) {
+		t.Fatalf("Health against a dead server returned %v, want an unreachable transport error", err)
+	}
+	if errors.As(err, &se) {
+		t.Fatalf("a refused connection must not be a *StatusError: %v", err)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, _, err := c.Do(ctx, http.MethodGet, "/slow", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do under an expired context returned %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRetryAfterHintParse(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		header string
+		want   time.Duration
+		ok     bool
+	}{
+		{"", 0, false},
+		{"3", 3 * time.Second, true},
+		{"0", 0, true},
+		{"-2", 0, false},
+		{"soon", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false}, // HTTP-date form: unsupported, not a crash
+		{"1.5", 0, false},
+	}
+	for _, tc := range cases {
+		if d, ok := RetryAfterHint(mk(tc.header)); d != tc.want || ok != tc.ok {
+			t.Errorf("RetryAfterHint(%q) = %v, %v; want %v, %v", tc.header, d, ok, tc.want, tc.ok)
+		}
 	}
 }
 

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+// BatchOptions tunes BatchSubmit.
+type BatchOptions struct {
+	// Concurrency bounds in-flight jobs (submit→await→report chains).
+	// Zero or negative means 4.
+	Concurrency int
+	// QueueRetries is how many 429 answers each submission absorbs via
+	// Retry-After before giving up (default 8; negative disables retry).
+	QueueRetries int
+	// FetchReport, when set, also fetches each successful job's report.
+	FetchReport bool
+}
+
+// BatchResult is the outcome for one spec of a batch. Exactly one
+// result is emitted per input index, in completion order.
+type BatchResult struct {
+	// Index is the spec's position in the input slice.
+	Index int
+	// Submission is valid when the submit itself succeeded.
+	Submission Submission
+	// Job is the terminal document when the job settled (even if Err is
+	// ErrCancelled or a *JobFailedError).
+	Job JobStatus
+	// Report holds the canonical report bytes when FetchReport was set
+	// and the job finished done.
+	Report []byte
+	// Err is the first failure along submit→await→report, nil on success.
+	Err error
+}
+
+// BatchSubmit runs every spec through submit→await(→report) with at
+// most opts.Concurrency in flight, streaming results on the returned
+// channel as jobs settle. The channel closes after exactly len(specs)
+// results. Cancelling ctx makes the remaining results carry ctx's
+// error; the channel still closes.
+func (c *Client) BatchSubmit(ctx context.Context, specs []any, opts BatchOptions) <-chan BatchResult {
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = 4
+	}
+	retries := opts.QueueRetries
+	if retries == 0 {
+		retries = 8
+	} else if retries < 0 {
+		retries = 0
+	}
+
+	out := make(chan BatchResult)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(idx int, spec any) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				out <- BatchResult{Index: idx, Err: ctx.Err()}
+				return
+			}
+			res := BatchResult{Index: idx}
+			res.Submission, res.Err = c.SubmitRetry(ctx, spec, retries)
+			if res.Err == nil {
+				res.Job, res.Err = c.Await(ctx, res.Submission.ID)
+			}
+			if res.Err == nil && opts.FetchReport {
+				res.Report, res.Err = c.Report(ctx, res.Job.ID)
+			}
+			out <- res
+		}(i, spec)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// BatchSubmitAll collects BatchSubmit into a slice in input order.
+func (c *Client) BatchSubmitAll(ctx context.Context, specs []any, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(specs))
+	for res := range c.BatchSubmit(ctx, specs, opts) {
+		results[res.Index] = res
+	}
+	return results
+}

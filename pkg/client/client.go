@@ -1,0 +1,382 @@
+// Package client is the public Go SDK for the simd simulation service.
+// It speaks the wire protocol served by cmd/simd and — identically —
+// by the cmd/simdcluster router: submit a job spec, await it under a
+// context, stream per-GVT-round NDJSON progress, fetch the canonical
+// run report, cancel, all with typed errors, plus bounded-concurrency
+// batch submission returning results on a channel.
+//
+// Because the engine is deterministic and results are content-addressed
+// by canonical spec hash, a submission can be answered three ways, all
+// surfaced on the Submission document: executed for real, served from
+// the result cache/persistent store (CacheHitNow/StoreHit), or
+// coalesced onto an identical in-flight job (DedupedNow).
+//
+// Minimal round trip:
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	st, report, err := c.Run(ctx, map[string]any{"model": "phold", "end_time": 50})
+//
+// Backpressure is a protocol answer, not a failure: a full queue comes
+// back as *QueueFullError carrying the server's parsed Retry-After
+// hint. SubmitRetry, Run and BatchSubmit honor it automatically.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/simdclient"
+)
+
+// Job lifecycle states, as they appear in JobStatus.State.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Terminal reports whether a state is settled: done, failed or
+// cancelled.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// JobStatus is the service's job document.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	State string `json:"state"`
+	// CacheHit marks a job that was born done from the result cache;
+	// StoreHit narrows it to the persistent store (it survived a restart
+	// or was computed by a sibling daemon).
+	CacheHit bool `json:"cache_hit"`
+	StoreHit bool `json:"store_hit,omitempty"`
+	// Deduped counts later identical submissions coalesced onto this job.
+	Deduped int64  `json:"deduped,omitempty"`
+	Rounds  int    `json:"rounds"`
+	Error   string `json:"error,omitempty"`
+	// GVT and Efficiency echo the most recent progress round.
+	GVT        float64 `json:"gvt"`
+	Efficiency float64 `json:"efficiency"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Submission is a submit answer: the job document plus how THIS
+// submission was satisfied (for a deduped or cache-hit submission the
+// job itself may predate it).
+type Submission struct {
+	JobStatus
+	CacheHitNow bool `json:"cache_hit_now"`
+	DedupedNow  bool `json:"deduped_now"`
+}
+
+// Progress is one per-GVT-round update from the events stream. All
+// quantities are cumulative since run start and purely virtual-time.
+type Progress struct {
+	Round      int64   `json:"round"`
+	GVT        float64 `json:"gvt"`
+	AtNanos    int64   `json:"at_ns"`
+	Sync       bool    `json:"sync"`
+	Efficiency float64 `json:"efficiency"`
+	Processed  int64   `json:"processed"`
+	Committed  int64   `json:"committed"`
+	Rollbacks  int64   `json:"rollbacks"`
+	RolledBack int64   `json:"rolled_back"`
+	Migrations int64   `json:"migrations"`
+}
+
+// Client talks to one simd daemon or simdcluster router.
+type Client struct {
+	api  *simdclient.Client
+	poll time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying HTTP client. Leave its Timeout
+// zero: request lifetimes are governed by the contexts you pass, and
+// the events stream legitimately outlives any fixed deadline.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.api.HTTP = h }
+}
+
+// WithPollInterval sets the status poll interval Await falls back to
+// when the events stream is unavailable (default 150ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
+// New returns a client for the given base URL, e.g.
+// "http://127.0.0.1:8080".
+func New(base string, opts ...Option) *Client {
+	api := simdclient.New(base)
+	// No global timeout: per-request contexts govern lifetimes, and the
+	// events stream runs for as long as the simulation does.
+	api.HTTP = &http.Client{}
+	c := &Client{api: api, poll: 150 * time.Millisecond}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the service root URL this client talks to.
+func (c *Client) Base() string { return c.api.Base }
+
+// Submit posts one job spec. spec is marshalled as JSON ([]byte and
+// json.RawMessage pass through verbatim), so callers may hand over a
+// struct, a map, or raw bytes. A full queue returns *QueueFullError
+// (errors.Is ErrQueueFull) carrying the parsed Retry-After hint; other
+// non-2xx answers return *APIError.
+func (c *Client) Submit(ctx context.Context, spec any) (Submission, error) {
+	code, data, hdr, err := c.api.Do(ctx, http.MethodPost, "/jobs", spec)
+	if err != nil {
+		return Submission{}, fmt.Errorf("client: submit: %w", err)
+	}
+	switch code {
+	case http.StatusOK, http.StatusAccepted:
+		var sub Submission
+		if err := json.Unmarshal(data, &sub); err != nil {
+			return Submission{}, fmt.Errorf("client: submit: undecodable answer: %w", err)
+		}
+		return sub, nil
+	case http.StatusTooManyRequests:
+		ra, ok := simdclient.RetryAfterHint(hdr)
+		return Submission{}, &QueueFullError{RetryAfter: ra, Hinted: ok, Message: apiMessage(data)}
+	default:
+		return Submission{}, &APIError{Status: code, Message: apiMessage(data)}
+	}
+}
+
+// SubmitRetry submits, absorbing up to retries ErrQueueFull answers by
+// honoring the server's Retry-After hint between attempts (capped at
+// 15s; one second when the server sent no hint). Any other error
+// returns immediately.
+func (c *Client) SubmitRetry(ctx context.Context, spec any, retries int) (Submission, error) {
+	const hintCap = 15 * time.Second
+	for attempt := 0; ; attempt++ {
+		sub, err := c.Submit(ctx, spec)
+		var qf *QueueFullError
+		if err == nil || !errors.As(err, &qf) || attempt >= retries {
+			return sub, err
+		}
+		d := qf.RetryAfter
+		if !qf.Hinted || d <= 0 {
+			d = time.Second
+		}
+		if d > hintCap {
+			d = hintCap
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			return Submission{}, err
+		}
+	}
+}
+
+// Status fetches one job's current document. errors.Is(err,
+// ErrNotFound) identifies a vanished job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	code, data, _, err := c.api.Do(ctx, http.MethodGet, "/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("client: status %s: %w", id, err)
+	}
+	if code != http.StatusOK {
+		return JobStatus{}, &APIError{Status: code, Message: apiMessage(data)}
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("client: status %s: undecodable answer: %w", id, err)
+	}
+	return st, nil
+}
+
+// Report fetches the canonical run report bytes. 409 before the job is
+// done maps to ErrNotReady (await first); for failed or cancelled jobs
+// there is no report, ever.
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	code, data, _, err := c.api.Do(ctx, http.MethodGet, "/jobs/"+id+"/report", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: report %s: %w", id, err)
+	}
+	switch code {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusConflict:
+		return nil, fmt.Errorf("client: report %s: %s: %w", id, apiMessage(data), ErrNotReady)
+	default:
+		return nil, &APIError{Status: code, Message: apiMessage(data)}
+	}
+}
+
+// Cancel requests cancellation: queued jobs settle instantly, running
+// jobs abort at the kernel's next dispatch boundary. A job already in a
+// terminal state answers ErrFinished.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	code, data, _, err := c.api.Do(ctx, http.MethodDelete, "/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("client: cancel %s: %w", id, err)
+	}
+	switch code {
+	case http.StatusOK:
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return JobStatus{}, fmt.Errorf("client: cancel %s: undecodable answer: %w", id, err)
+		}
+		return st, nil
+	case http.StatusConflict:
+		return JobStatus{}, fmt.Errorf("client: cancel %s: %s: %w", id, apiMessage(data), ErrFinished)
+	default:
+		return JobStatus{}, &APIError{Status: code, Message: apiMessage(data)}
+	}
+}
+
+// Await blocks until the job settles or ctx expires, following the
+// events stream when it can and falling back to status polls when the
+// stream breaks (a daemon restart, a buffering proxy). It returns the
+// terminal document plus the outcome error contract: nil for done,
+// ErrCancelled, ErrDeadline, or *JobFailedError. A local ctx expiry
+// returns ctx's error — the job may still be running server-side.
+func (c *Client) Await(ctx context.Context, id string) (JobStatus, error) {
+	if err := c.streamEvents(ctx, id, nil); err != nil {
+		if ctx.Err() != nil {
+			return JobStatus{}, fmt.Errorf("client: await %s: %w", id, ctx.Err())
+		}
+		if errors.Is(err, ErrNotFound) {
+			return JobStatus{}, err
+		}
+		// Broken stream with a live context: fall through to polling.
+	}
+	return c.awaitPoll(ctx, id)
+}
+
+// awaitPoll polls the status document until the job settles.
+func (c *Client) awaitPoll(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return JobStatus{}, fmt.Errorf("client: await %s: %w", id, ctx.Err())
+			}
+			return JobStatus{}, err
+		}
+		if Terminal(st.State) {
+			return st, terminalErr(st)
+		}
+		if err := sleepCtx(ctx, c.poll); err != nil {
+			return st, fmt.Errorf("client: await %s: %w", id, err)
+		}
+	}
+}
+
+// Run is the whole round trip: submit (absorbing up to 8 queue-full
+// answers via SubmitRetry), await settlement, fetch the report. The
+// returned status is valid whenever the submission succeeded, even when
+// the outcome error is non-nil.
+func (c *Client) Run(ctx context.Context, spec any) (JobStatus, []byte, error) {
+	sub, err := c.SubmitRetry(ctx, spec, 8)
+	if err != nil {
+		return JobStatus{}, nil, err
+	}
+	st, err := c.Await(ctx, sub.ID)
+	if err != nil {
+		return st, nil, err
+	}
+	report, err := c.Report(ctx, st.ID)
+	return st, report, err
+}
+
+// sleepCtx sleeps d or returns ctx's error, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// eventLine is one NDJSON record from /jobs/{id}/events: a progress
+// update or the terminal end marker.
+type eventLine struct {
+	Type  string `json:"type"` // "progress" | "end"
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	Progress
+}
+
+// streamEvents follows the job's NDJSON stream, invoking fn (when
+// non-nil) per progress record, and returns nil once the end record
+// arrives. A non-nil fn error aborts the stream and is returned as-is.
+func (c *Client) streamEvents(ctx context.Context, id string, fn func(Progress) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.api.Base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.api.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := readBounded(resp)
+		return &APIError{Status: resp.StatusCode, Message: apiMessage(data)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev eventLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: events %s: bad stream record %q: %w", id, truncateLine(line), err)
+		}
+		switch ev.Type {
+		case "progress":
+			if fn != nil {
+				if err := fn(ev.Progress); err != nil {
+					return err
+				}
+			}
+		case "end":
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: events %s: stream broke: %w", id, err)
+	}
+	return fmt.Errorf("client: events %s: stream ended without an end record", id)
+}
+
+// readBounded drains at most 64 KiB of an error response body.
+func readBounded(resp *http.Response) ([]byte, error) {
+	buf := make([]byte, 64<<10)
+	n, _ := resp.Body.Read(buf)
+	return buf[:n], nil
+}
+
+func truncateLine(b []byte) string {
+	const max = 120
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}

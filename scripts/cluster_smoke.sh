@@ -13,7 +13,15 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SMOKE_NAME=cluster-smoke
+. scripts/smoke_lib.sh
+smoke_init
+
+# The Go test owns its own process lifecycle; the lib supplies fail()
+# and the log-dir contract (CI uploads the transcript on failure).
+LOG="${SMOKE_LOG_DIR}/cluster_smoke_test.log"
 
 echo "cluster-smoke: running TestClusterSmoke against real processes"
-go test -run 'TestClusterSmoke$' -count=1 -v -timeout 10m ./cmd/simdcluster
+go test -run 'TestClusterSmoke$' -count=1 -v -timeout 10m ./cmd/simdcluster 2>&1 | tee "${LOG}" \
+  || fail "TestClusterSmoke failed (transcript: ${LOG})"
 echo "cluster-smoke: PASS"

@@ -16,62 +16,28 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SMOKE_NAME=durability-smoke
+. scripts/smoke_lib.sh
+smoke_init
 
 PORT="${DURABILITY_SMOKE_PORT:-18100}"
 BASE="http://127.0.0.1:${PORT}"
-WORK="$(mktemp -d)"
+LOG="${SMOKE_LOG_DIR}/simd.log"
 STORE="${WORK}/store"
 SPEC_DONE='{"model":"phold","nodes":2,"workers_per_node":2,"lps_per_worker":8,"end_time":10,"seed":42}'
 SPEC_SLOW='{"model":"phold","nodes":4,"workers_per_node":4,"lps_per_worker":64,"end_time":5000,"seed":7}'
 
-fail() { echo "durability-smoke: FAIL: $*" >&2; exit 1; }
-
-# Always reap the daemon — TERM first, KILL if it lingers — and remove
-# the workspace, whether the script passes, fails, or is interrupted.
-cleanup() {
-  if [[ -n "${SIMD_PID:-}" ]]; then
-    kill "${SIMD_PID}" 2>/dev/null || true
-    for _ in $(seq 1 20); do
-      kill -0 "${SIMD_PID}" 2>/dev/null || break
-      sleep 0.2
-    done
-    kill -9 "${SIMD_PID}" 2>/dev/null || true
-    wait "${SIMD_PID}" 2>/dev/null || true
-  fi
-  rm -rf "${WORK}"
-}
-trap cleanup EXIT INT TERM
-
 start_daemon() { # extra args appended to the common flags
   "${WORK}/simd" -addr "127.0.0.1:${PORT}" -store-dir "${STORE}" -workers 2 "$@" \
-    >>"${WORK}/simd.log" 2>&1 &
+    >>"${LOG}" 2>&1 &
   SIMD_PID=$!
-  for i in $(seq 1 100); do
-    curl -sf "${BASE}/healthz" >/dev/null 2>&1 && return 0
-    kill -0 "${SIMD_PID}" 2>/dev/null || { cat "${WORK}/simd.log" >&2; fail "daemon died on startup"; }
-    [[ "$i" == 100 ]] && fail "daemon never became healthy"
-    sleep 0.1
-  done
+  smoke_track "${SIMD_PID}"
+  wait_healthy "${BASE}" "${SIMD_PID}" "${LOG}"
 }
 
-submit() { # $1 spec, $2 out file; echoes http code
-  curl -s -o "$2" -w '%{http_code}' \
-    -X POST -H 'Content-Type: application/json' -d "$1" "${BASE}/jobs"
-}
+submit() { submit_spec "${BASE}" "$1" "$2"; }
 
-wait_state() { # $1 job id, $2 wanted state
-  for i in $(seq 1 300); do
-    STATE=$(curl -sf "${BASE}/jobs/$1" | jq -r .state)
-    [[ "${STATE}" == "$2" ]] && return 0
-    case "${STATE}" in done|failed|cancelled)
-      fail "job $1 settled as ${STATE} (want $2): $(curl -s "${BASE}/jobs/$1")";;
-    esac
-    [[ "$i" == 300 ]] && fail "job $1 never reached $2 (state ${STATE})"
-    sleep 0.1
-  done
-}
-
-metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "$2"; }
+wait_state() { wait_job_state "${BASE}" "$1" "$2"; }
 
 echo "durability-smoke: building cmd/simd"
 go build -o "${WORK}/simd" ./cmd/simd
@@ -93,7 +59,6 @@ wait_state "$(jq -r .id "${WORK}/sub2.json")" running
 echo "durability-smoke: kill -9 mid-run"
 kill -9 "${SIMD_PID}"
 wait "${SIMD_PID}" 2>/dev/null || true
-SIMD_PID=""
 
 # --- generation 2: warm restart ---------------------------------------
 echo "durability-smoke: gen 2 warm restart"
@@ -138,7 +103,6 @@ echo "durability-smoke: degraded mode verified (jobs succeed from memory, /healt
 
 kill -9 "${SIMD_PID}"
 wait "${SIMD_PID}" 2>/dev/null || true
-SIMD_PID=""
 
 # --- generation 3: repaired disk, corrupt entry, job deadline ---------
 rm "${STORE}/objects"
@@ -170,13 +134,7 @@ echo "durability-smoke: corrupt entry quarantined and recomputed identically"
 CODE=$(submit "${SPEC_SLOW/\"seed\":7/\"seed\":8}" "${WORK}/sub5.json")
 [[ "${CODE}" == 202 ]] || fail "deadline-phase submit returned HTTP ${CODE}"
 ID5=$(jq -r .id "${WORK}/sub5.json")
-for i in $(seq 1 300); do
-  STATE=$(curl -sf "${BASE}/jobs/${ID5}" | jq -r .state)
-  [[ "${STATE}" == failed ]] && break
-  [[ "${STATE}" == done || "${STATE}" == cancelled ]] && fail "over-budget job settled ${STATE} (want failed)"
-  [[ "$i" == 300 ]] && fail "over-budget job never failed (state ${STATE})"
-  sleep 0.1
-done
+wait_state "${ID5}" failed
 curl -sf "${BASE}/jobs/${ID5}" | jq -e '.error | contains("deadline")' >/dev/null \
   || fail "deadline failure does not say so: $(curl -s "${BASE}/jobs/${ID5}")"
 curl -sf "${BASE}/metrics" >"${WORK}/metrics4.txt"
@@ -185,12 +143,5 @@ V=$(metric 'simd_job_deadline_exceeded_total' "${WORK}/metrics4.txt") || fail "/
 echo "durability-smoke: wall-clock deadline enforced"
 
 # --- graceful shutdown ------------------------------------------------
-kill -TERM "${SIMD_PID}"
-for i in $(seq 1 100); do
-  kill -0 "${SIMD_PID}" 2>/dev/null || break
-  [[ "$i" == 100 ]] && fail "daemon ignored SIGTERM"
-  sleep 0.1
-done
-wait "${SIMD_PID}" || fail "daemon exited non-zero"
-SIMD_PID=""
+graceful_stop "${SIMD_PID}"
 echo "durability-smoke: PASS"

@@ -14,32 +14,17 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SMOKE_NAME=obs-smoke
+. scripts/smoke_lib.sh
+smoke_init
 
 PORT="${OBS_SMOKE_PORT:-18090}"
 DBG_PORT="${OBS_SMOKE_DEBUG_PORT:-18091}"
 BASE="http://127.0.0.1:${PORT}"
 DBG="http://127.0.0.1:${DBG_PORT}"
-WORK="$(mktemp -d)"
+LOG="${SMOKE_LOG_DIR}/simd.log"
 # Big enough to run for a while: we need to catch it mid-flight.
 LONG_SPEC='{"model":"phold","nodes":4,"workers_per_node":4,"lps_per_worker":64,"end_time":2000,"seed":7}'
-
-fail() { echo "obs-smoke: FAIL: $*" >&2; exit 1; }
-
-# Always reap the daemon — TERM first, KILL if it lingers — and remove
-# the workspace, whether the script passes, fails, or is interrupted.
-cleanup() {
-  if [[ -n "${SIMD_PID:-}" ]]; then
-    kill "${SIMD_PID}" 2>/dev/null || true
-    for _ in $(seq 1 20); do
-      kill -0 "${SIMD_PID}" 2>/dev/null || break
-      sleep 0.2
-    done
-    kill -9 "${SIMD_PID}" 2>/dev/null || true
-    wait "${SIMD_PID}" 2>/dev/null || true
-  fi
-  rm -rf "${WORK}"
-}
-trap cleanup EXIT INT TERM
 
 echo "obs-smoke: building cmd/simd and cmd/simtop"
 go build -o "${WORK}/simd" ./cmd/simd
@@ -47,39 +32,26 @@ go build -o "${WORK}/simtop" ./cmd/simtop
 
 echo "obs-smoke: starting simd on ${BASE} (debug ${DBG})"
 "${WORK}/simd" -addr "127.0.0.1:${PORT}" -debug-addr "127.0.0.1:${DBG_PORT}" \
-  -workers 2 -log-level debug -log-format json >"${WORK}/simd.log" 2>&1 &
+  -workers 2 -log-level debug -log-format json >"${LOG}" 2>&1 &
 SIMD_PID=$!
-
-for i in $(seq 1 100); do
-  curl -sf "${BASE}/healthz" >/dev/null 2>&1 && break
-  kill -0 "${SIMD_PID}" 2>/dev/null || { cat "${WORK}/simd.log" >&2; fail "daemon died on startup"; }
-  [[ "$i" == 100 ]] && fail "daemon never became healthy"
-  sleep 0.1
-done
+smoke_track "${SIMD_PID}"
+wait_healthy "${BASE}" "${SIMD_PID}" "${LOG}"
 
 # healthz carries build identity.
 curl -sf "${BASE}/healthz" | jq -e '.status == "ok" and (.build.go_version | length) > 0' >/dev/null \
   || fail "healthz has no build info: $(curl -s "${BASE}/healthz")"
 
 # --- long job: observe it while it runs ------------------------------
-CODE=$(curl -s -o "${WORK}/sub.json" -w '%{http_code}' \
-  -X POST -H 'Content-Type: application/json' -d "${LONG_SPEC}" "${BASE}/jobs")
+CODE=$(submit_spec "${BASE}" "${LONG_SPEC}" "${WORK}/sub.json")
 [[ "${CODE}" == 202 ]] || fail "submit returned HTTP ${CODE}: $(cat "${WORK}/sub.json")"
 ID=$(jq -r .id "${WORK}/sub.json")
 echo "obs-smoke: submitted long job ${ID}"
 
-for i in $(seq 1 100); do
-  STATE=$(curl -sf "${BASE}/jobs/${ID}" | jq -r .state)
-  [[ "${STATE}" == running ]] && break
-  [[ "${STATE}" == done || "${STATE}" == failed ]] && fail "long job settled too fast (${STATE}); grow LONG_SPEC"
-  [[ "$i" == 100 ]] && fail "job never started running (state ${STATE})"
-  sleep 0.1
-done
+wait_job_state "${BASE}" "${ID}" running
 # Let a few GVT rounds land in the flight ring before we look.
 sleep 1
 
 curl -sf "${BASE}/metrics" >"${WORK}/metrics_mid.txt" || fail "mid-run GET /metrics failed"
-metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "$2"; }
 
 V=$(metric 'simd_jobs{state="running"}' "${WORK}/metrics_mid.txt") || fail "no running-jobs gauge"
 [[ "${V}" == 1 ]] || fail "running jobs=${V} mid-run (want 1)"
@@ -129,22 +101,15 @@ V=$(metric 'simd_jobs_finished_total{state="cancelled"}' "${WORK}/metrics_end.tx
 [[ "${V}" == 1 ]] || fail "cancelled finished jobs=${V} (want 1)"
 
 # --- structured logs: every line is JSON with the expected shape -----
-kill -TERM "${SIMD_PID}"
-for i in $(seq 1 100); do
-  kill -0 "${SIMD_PID}" 2>/dev/null || break
-  [[ "$i" == 100 ]] && fail "daemon ignored SIGTERM"
-  sleep 0.1
-done
-wait "${SIMD_PID}" || fail "daemon exited non-zero"
-SIMD_PID=""
+graceful_stop "${SIMD_PID}"
 
-jq -es 'length > 0' "${WORK}/simd.log" >/dev/null \
-  || fail "log output is not line-delimited JSON: $(head -3 "${WORK}/simd.log")"
-jq -es 'map(select(.msg == "job admitted")) | length == 1' "${WORK}/simd.log" >/dev/null \
+jq -es 'length > 0' "${LOG}" >/dev/null \
+  || fail "log output is not line-delimited JSON: $(head -3 "${LOG}")"
+jq -es 'map(select(.msg == "job admitted")) | length == 1' "${LOG}" >/dev/null \
   || fail "no 'job admitted' log line"
-jq -es 'map(select(.msg == "job finished" and .state == "cancelled")) | length == 1' "${WORK}/simd.log" >/dev/null \
+jq -es 'map(select(.msg == "job finished" and .state == "cancelled")) | length == 1' "${LOG}" >/dev/null \
   || fail "no cancelled 'job finished' log line"
-jq -es 'map(select(.level == "DEBUG" and .msg == "http request")) | length > 0' "${WORK}/simd.log" >/dev/null \
+jq -es 'map(select(.level == "DEBUG" and .msg == "http request")) | length > 0' "${LOG}" >/dev/null \
   || fail "no access-log lines at debug level"
-echo "obs-smoke: structured logs check out ($(wc -l < "${WORK}/simd.log") JSON lines)"
+echo "obs-smoke: structured logs check out ($(wc -l < "${LOG}") JSON lines)"
 echo "obs-smoke: PASS"

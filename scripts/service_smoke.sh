@@ -14,43 +14,23 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SMOKE_NAME=smoke
+. scripts/smoke_lib.sh
+smoke_init
 
 PORT="${SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
-WORK="$(mktemp -d)"
+LOG="${SMOKE_LOG_DIR}/simd.log"
 SPEC='{"model":"phold","nodes":2,"workers_per_node":2,"lps_per_worker":8,"end_time":10,"seed":42}'
-
-fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
-
-# Always reap the daemon — TERM first, KILL if it lingers — and remove
-# the workspace, whether the script passes, fails, or is interrupted.
-cleanup() {
-  if [[ -n "${SIMD_PID:-}" ]]; then
-    kill "${SIMD_PID}" 2>/dev/null || true
-    for _ in $(seq 1 20); do
-      kill -0 "${SIMD_PID}" 2>/dev/null || break
-      sleep 0.2
-    done
-    kill -9 "${SIMD_PID}" 2>/dev/null || true
-    wait "${SIMD_PID}" 2>/dev/null || true
-  fi
-  rm -rf "${WORK}"
-}
-trap cleanup EXIT INT TERM
 
 echo "smoke: building cmd/simd"
 go build -o "${WORK}/simd" ./cmd/simd
 
 echo "smoke: starting simd on ${BASE}"
-"${WORK}/simd" -addr "127.0.0.1:${PORT}" -node-id smoke-n1 -workers 2 -cachesize 16 >"${WORK}/simd.log" 2>&1 &
+"${WORK}/simd" -addr "127.0.0.1:${PORT}" -node-id smoke-n1 -workers 2 -cachesize 16 >"${LOG}" 2>&1 &
 SIMD_PID=$!
-
-for i in $(seq 1 100); do
-  curl -sf "${BASE}/healthz" >/dev/null 2>&1 && break
-  kill -0 "${SIMD_PID}" 2>/dev/null || { cat "${WORK}/simd.log" >&2; fail "daemon died on startup"; }
-  [[ "$i" == 100 ]] && fail "daemon never became healthy"
-  sleep 0.1
-done
+smoke_track "${SIMD_PID}"
+wait_healthy "${BASE}" "${SIMD_PID}" "${LOG}"
 
 # The daemon answers as the identity it was launched with — the cluster
 # health gate relies on this to catch mis-wired membership.
@@ -61,19 +41,12 @@ NODE=$(curl -sf "${BASE}/stats" | jq -r .node_id)
 echo "smoke: daemon identifies as smoke-n1"
 
 # --- first submission: executes for real -----------------------------
-CODE1=$(curl -s -o "${WORK}/sub1.json" -w '%{http_code}' \
-  -X POST -H 'Content-Type: application/json' -d "${SPEC}" "${BASE}/jobs")
+CODE1=$(submit_spec "${BASE}" "${SPEC}" "${WORK}/sub1.json")
 [[ "${CODE1}" == 202 ]] || fail "first submit returned HTTP ${CODE1} (want 202): $(cat "${WORK}/sub1.json")"
 ID1=$(jq -r .id "${WORK}/sub1.json")
 echo "smoke: submitted ${ID1}"
 
-for i in $(seq 1 300); do
-  STATE=$(curl -sf "${BASE}/jobs/${ID1}" | jq -r .state)
-  [[ "${STATE}" == done ]] && break
-  [[ "${STATE}" == failed || "${STATE}" == cancelled ]] && fail "job ${ID1} settled as ${STATE}"
-  [[ "$i" == 300 ]] && fail "job ${ID1} never finished (state ${STATE})"
-  sleep 0.1
-done
+wait_job_state "${BASE}" "${ID1}" done
 echo "smoke: ${ID1} done"
 
 CODE=$(curl -s -o "${WORK}/report1.json" -w '%{http_code}' "${BASE}/jobs/${ID1}/report")
@@ -89,8 +62,7 @@ tail -1 "${WORK}/events.ndjson" | jq -e '.type == "end" and .state == "done"' >/
 echo "smoke: event stream replayed ${PROGRESS} rounds"
 
 # --- second submission: must be a cache hit, not a re-run ------------
-CODE2=$(curl -s -o "${WORK}/sub2.json" -w '%{http_code}' \
-  -X POST -H 'Content-Type: application/json' -d "${SPEC}" "${BASE}/jobs")
+CODE2=$(submit_spec "${BASE}" "${SPEC}" "${WORK}/sub2.json")
 [[ "${CODE2}" == 200 ]] || fail "second submit returned HTTP ${CODE2} (want 200 cache hit): $(cat "${WORK}/sub2.json")"
 jq -e '.cache_hit_now == true and .state == "done"' "${WORK}/sub2.json" >/dev/null \
   || fail "second submit was not a cache hit: $(cat "${WORK}/sub2.json")"
@@ -108,19 +80,18 @@ echo "smoke: cache hit verified (1 execution, byte-identical reports)"
 # --- /metrics: the counters must tell the same story -----------------
 # One admitted execution, one cache-hit submission, two finished jobs.
 curl -sf "${BASE}/metrics" >"${WORK}/metrics.txt" || fail "GET /metrics failed"
-metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "${WORK}/metrics.txt"; }
 
-V=$(metric 'simd_executions_total') || fail "/metrics missing simd_executions_total"
+V=$(metric 'simd_executions_total' "${WORK}/metrics.txt") || fail "/metrics missing simd_executions_total"
 [[ "${V}" == 1 ]] || fail "simd_executions_total=${V} (want 1)"
-V=$(metric 'simd_cache_hits_total') || fail "/metrics missing simd_cache_hits_total"
+V=$(metric 'simd_cache_hits_total' "${WORK}/metrics.txt") || fail "/metrics missing simd_cache_hits_total"
 [[ "${V}" == 1 ]] || fail "simd_cache_hits_total=${V} (want 1)"
-V=$(metric 'simd_submissions_total{outcome="admitted"}') || fail "/metrics missing admitted submissions"
+V=$(metric 'simd_submissions_total{outcome="admitted"}' "${WORK}/metrics.txt") || fail "/metrics missing admitted submissions"
 [[ "${V}" == 1 ]] || fail "admitted submissions=${V} (want 1)"
-V=$(metric 'simd_submissions_total{outcome="cache_hit"}') || fail "/metrics missing cache_hit submissions"
+V=$(metric 'simd_submissions_total{outcome="cache_hit"}' "${WORK}/metrics.txt") || fail "/metrics missing cache_hit submissions"
 [[ "${V}" == 1 ]] || fail "cache_hit submissions=${V} (want 1)"
-V=$(metric 'simd_jobs{state="done"}') || fail "/metrics missing done-jobs gauge"
+V=$(metric 'simd_jobs{state="done"}' "${WORK}/metrics.txt") || fail "/metrics missing done-jobs gauge"
 [[ "${V}" == 2 ]] || fail "done jobs=${V} (want 2)"
-V=$(metric 'simd_jobs_finished_total{state="done"}') || fail "/metrics missing finished-jobs counter"
+V=$(metric 'simd_jobs_finished_total{state="done"}' "${WORK}/metrics.txt") || fail "/metrics missing finished-jobs counter"
 [[ "${V}" == 2 ]] || fail "finished done jobs=${V} (want 2)"
 grep -q '^simd_engine_events_committed_total [1-9]' "${WORK}/metrics.txt" \
   || fail "engine committed-events counter never moved"
@@ -137,12 +108,5 @@ FLIGHT_ROUNDS=$(jq -r .rounds_total "${WORK}/flight.json")
 echo "smoke: flight recorder holds ${FLIGHT_ROUNDS} rounds for ${ID1}"
 
 # --- graceful shutdown ----------------------------------------------
-kill -TERM "${SIMD_PID}"
-for i in $(seq 1 100); do
-  kill -0 "${SIMD_PID}" 2>/dev/null || break
-  [[ "$i" == 100 ]] && fail "daemon ignored SIGTERM"
-  sleep 0.1
-done
-wait "${SIMD_PID}" || fail "daemon exited non-zero"
-SIMD_PID=""
+graceful_stop "${SIMD_PID}"
 echo "smoke: PASS"

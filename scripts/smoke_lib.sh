@@ -1,0 +1,105 @@
+# scripts/smoke_lib.sh — shared plumbing for the smoke tests. Not a
+# program: source it.
+#
+#   SMOKE_NAME=my-smoke
+#   . "$(dirname "$0")/smoke_lib.sh"
+#   smoke_init
+#   "${WORK}/simd" ... >"${SMOKE_LOG_DIR}/simd.log" 2>&1 &
+#   smoke_track "$!"
+#   wait_healthy "${BASE}" "$!" "${SMOKE_LOG_DIR}/simd.log"
+#
+# smoke_init creates a throwaway ${WORK} directory and installs an
+# EXIT/INT/TERM trap that reaps every smoke_track'ed daemon (TERM
+# first, KILL if it lingers) and removes ${WORK} — whether the script
+# passes, fails, or is interrupted.
+#
+# SMOKE_LOG_DIR is where daemon logs belong. CI points it at an
+# artifact directory so logs survive the workspace cleanup and get
+# uploaded when the smoke fails; it defaults to ${WORK} (logs vanish
+# with the workspace).
+
+SMOKE_NAME="${SMOKE_NAME:-smoke}"
+SMOKE_PIDS=()
+
+fail() { echo "${SMOKE_NAME}: FAIL: $*" >&2; exit 1; }
+
+smoke_init() {
+  WORK="$(mktemp -d)"
+  SMOKE_LOG_DIR="${SMOKE_LOG_DIR:-${WORK}}"
+  mkdir -p "${SMOKE_LOG_DIR}"
+  trap smoke_cleanup EXIT INT TERM
+}
+
+# smoke_track registers a just-started background PID for cleanup.
+# Track every daemon you start; reaping an already-dead PID is a no-op,
+# so scripted kill -9s and graceful stops need no untracking.
+smoke_track() { SMOKE_PIDS+=("$1"); }
+
+smoke_reap_pid() {
+  local pid="$1"
+  kill "${pid}" 2>/dev/null || true
+  for _ in $(seq 1 20); do
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+}
+
+smoke_cleanup() {
+  local pid
+  for pid in ${SMOKE_PIDS[@]+"${SMOKE_PIDS[@]}"}; do
+    smoke_reap_pid "${pid}"
+  done
+  [[ -n "${WORK:-}" ]] && rm -rf "${WORK}"
+}
+
+# wait_healthy BASE PID LOG polls /healthz until the daemon answers,
+# failing fast — with the log echoed — when the process died on boot.
+wait_healthy() {
+  local base="$1" pid="$2" log="$3" i
+  for i in $(seq 1 100); do
+    curl -sf "${base}/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "${pid}" 2>/dev/null || { cat "${log}" >&2; fail "daemon died on startup"; }
+    [[ "$i" == 100 ]] && fail "daemon never became healthy"
+    sleep 0.1
+  done
+}
+
+# graceful_stop PID sends SIGTERM and requires a prompt, clean exit.
+graceful_stop() {
+  local pid="$1" i
+  kill -TERM "${pid}"
+  for i in $(seq 1 100); do
+    kill -0 "${pid}" 2>/dev/null || break
+    [[ "$i" == 100 ]] && fail "daemon ignored SIGTERM"
+    sleep 0.1
+  done
+  wait "${pid}" || fail "daemon exited non-zero"
+}
+
+# submit_spec BASE SPEC OUT posts a job spec, writes the response body
+# to OUT and echoes the HTTP status code.
+submit_spec() {
+  curl -s -o "$3" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$2" "$1/jobs"
+}
+
+# wait_job_state BASE ID WANT polls one job until it reaches WANT,
+# failing when it settles in any other terminal state first.
+wait_job_state() {
+  local base="$1" id="$2" want="$3" state i
+  for i in $(seq 1 300); do
+    state=$(curl -sf "${base}/jobs/${id}" | jq -r .state)
+    [[ "${state}" == "${want}" ]] && return 0
+    case "${state}" in done|failed|cancelled)
+      fail "job ${id} settled as ${state} (want ${want}): $(curl -s "${base}/jobs/${id}")";;
+    esac
+    [[ "$i" == 300 ]] && fail "job ${id} never reached ${want} (state ${state})"
+    sleep 0.1
+  done
+}
+
+# metric NAME FILE prints one sample from a Prometheus text dump;
+# non-zero exit when the series is absent.
+metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "$2"; }
