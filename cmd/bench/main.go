@@ -32,12 +32,14 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/conservative"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/phold"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Schema identifies the baseline document layout.
@@ -50,8 +52,10 @@ const HostSchema = "cagvt.bench-host/1"
 type cell struct {
 	Name     string  `json:"name"`
 	Nodes    int     `json:"nodes"`
-	GVT      string  `json:"gvt"`
-	Comm     string  `json:"comm"`
+	Engine   string  `json:"engine,omitempty"` // "" (Time Warp) | "conservative"
+	Sync     string  `json:"sync,omitempty"`   // conservative protocol
+	GVT      string  `json:"gvt,omitempty"`
+	Comm     string  `json:"comm,omitempty"`
 	Workload string  `json:"workload"`
 	Queue    string  `json:"queue,omitempty"`
 	Balance  string  `json:"balance,omitempty"`
@@ -66,6 +70,7 @@ type cell struct {
 	Efficiency     float64 `json:"efficiency"`
 	GVTRounds      int64   `json:"gvt_rounds"`
 	MPIMessages    int64   `json:"mpi_messages"`
+	NullMessages   int64   `json:"null_messages,omitempty"`
 	Migrations     int64   `json:"migrations,omitempty"`
 	CommitChecksum string  `json:"commit_checksum"`
 }
@@ -115,6 +120,8 @@ type hostDoc struct {
 type spec struct {
 	name     string
 	nodes    int
+	engine   string // "" (Time Warp) | "conservative"
+	sync     conservative.SyncKind
 	gvt      core.GVTKind
 	comm     core.CommMode
 	workload string // "comp" | "comm"
@@ -140,6 +147,9 @@ func specs() []spec {
 		{name: "telemetry/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", end: 15, metrics: true},
 		{name: "straggler-static/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", balance: "static", faults: "straggler", end: 60},
 		{name: "straggler-greedy/comp", nodes: 2, gvt: core.GVTControlled, comm: core.CommDedicated, workload: "comp", balance: "greedy", faults: "straggler", end: 60},
+		{name: "conservative-nullmsg/comp", nodes: 4, engine: "conservative", sync: conservative.SyncNullMsg, workload: "comp", end: 15},
+		{name: "conservative-window/comp", nodes: 4, engine: "conservative", sync: conservative.SyncWindow, workload: "comp", end: 15},
+		{name: "conservative-nullmsg/comm", nodes: 4, engine: "conservative", sync: conservative.SyncNullMsg, workload: "comm", end: 15},
 	}
 }
 
@@ -148,6 +158,9 @@ func run(s spec) (cell, hostCell, error) {
 	base := phold.ComputationDominated()
 	if s.workload == "comm" {
 		base = phold.CommunicationDominated()
+	}
+	if s.engine == "conservative" {
+		return runConservative(s, top, base)
 	}
 	cfg := core.Config{
 		Topology:    top,
@@ -201,6 +214,51 @@ func run(s spec) (cell, hostCell, error) {
 		Committed: r.Workers.Committed, Processed: r.Workers.Processed,
 		WallNanos: int64(r.WallTime), Rate: r.EventRate(), Efficiency: r.Efficiency(),
 		GVTRounds: r.GVTRounds, MPIMessages: r.MPIMessages, Migrations: r.Migrations,
+		CommitChecksum: metrics.Checksum(r.CommitChecksum),
+	}, h, nil
+}
+
+// runConservative measures one conservative-engine cell with the same
+// host-side bracket as the Time Warp path. Conservative cells pin both
+// protocols' committed stream (checksum) and their sync traffic (null
+// messages, sync rounds via gvt_rounds) into the exact-diffed baseline.
+func runConservative(s spec, top cluster.Topology, base phold.Phase) (cell, hostCell, error) {
+	params := phold.Params{Topology: top, Base: base}
+	la := params
+	la.Defaults()
+	cfg := conservative.Config{
+		Topology:  top,
+		Sync:      s.sync,
+		Lookahead: vtime.Time(la.Lookahead),
+		EndTime:   vtime.Time(s.end),
+		Seed:      benchSeed,
+		QueueKind: s.queue,
+		Model:     phold.New(params),
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	r, err := conservative.New(cfg).Run()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return cell{}, hostCell{}, err
+	}
+	h := hostCell{
+		Name:         s.name,
+		WallNS:       wall.Nanoseconds(),
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		EventsPerSec: float64(r.Workers.Committed) / wall.Seconds(),
+	}
+	return cell{
+		Name: s.name, Nodes: s.nodes, Engine: s.engine, Sync: s.sync.String(),
+		Workload: s.workload, Queue: s.queue,
+		EndTime: s.end, Seed: benchSeed,
+		Committed: r.Workers.Committed, Processed: r.Workers.Processed,
+		WallNanos: int64(r.WallTime), Rate: r.EventRate(), Efficiency: r.Efficiency(),
+		GVTRounds: r.GVTRounds, MPIMessages: r.MPIMessages, NullMessages: r.NullMessages,
 		CommitChecksum: metrics.Checksum(r.CommitChecksum),
 	}, h, nil
 }

@@ -43,8 +43,10 @@ type header struct {
 type cell struct {
 	Name     string  `json:"name"`
 	Nodes    int     `json:"nodes"`
-	GVT      string  `json:"gvt"`
-	Comm     string  `json:"comm"`
+	Engine   string  `json:"engine,omitempty"`
+	Sync     string  `json:"sync,omitempty"`
+	GVT      string  `json:"gvt,omitempty"`
+	Comm     string  `json:"comm,omitempty"`
 	Workload string  `json:"workload"`
 	Queue    string  `json:"queue,omitempty"`
 	Balance  string  `json:"balance,omitempty"`
@@ -59,6 +61,7 @@ type cell struct {
 	Efficiency     float64 `json:"efficiency"`
 	GVTRounds      int64   `json:"gvt_rounds"`
 	MPIMessages    int64   `json:"mpi_messages"`
+	NullMessages   int64   `json:"null_messages,omitempty"`
 	Migrations     int64   `json:"migrations,omitempty"`
 	CommitChecksum string  `json:"commit_checksum"`
 }

@@ -37,6 +37,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master RNG seed")
 		nodes    = flag.String("nodes", "1,2,4,8", "node counts for weak-scaling sweeps")
 		thresh   = flag.Float64("threshold", 0.80, "CA-GVT efficiency threshold")
+		syncF    = flag.String("sync", "", "restrict crossover/matrix cells to one engine: timewarp | nullmsg | window (empty: all)")
 		faults   = flag.String("faults", "", "run every cell under a fault scenario: "+strings.Join(fabric.ScenarioNames(), " | ")+" (empty: fault-free)")
 		balPol   = flag.String("balance", "", "run every cell under an LP load-balancing policy: "+strings.Join(balance.Names(), " | ")+" (empty: static placement)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
@@ -52,6 +53,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1, got %d\n", *jobsN)
 		os.Exit(2)
 	}
+	switch *syncF {
+	case "", "timewarp", "nullmsg", "window":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -sync %q (want timewarp | nullmsg | window)\n", *syncF)
+		os.Exit(2)
+	}
 	opt := harness.Options{
 		WorkersPerNode: *workers,
 		LPsPerWorker:   *lps,
@@ -62,6 +69,7 @@ func main() {
 		Verbose:        *verbose,
 		FaultScenario:  *faults,
 		BalancePolicy:  *balPol,
+		Sync:           *syncF,
 		Jobs:           *jobsN,
 	}
 	if *faults != "" {

@@ -6,6 +6,7 @@
 //	phold                                  # defaults: 2 nodes, Mattern
 //	phold -nodes 8 -gvt barrier -scenario comm
 //	phold -gvt ca -scenario mixed -mix 10,15 -v
+//	phold -sync window -seq                # conservative engine + oracle check
 //	phold -seq                             # sequential baseline + oracle check
 package main
 
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/cluster"
+	"repro/internal/conservative"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
@@ -34,6 +36,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "worker threads per node")
 		lps      = flag.Int("lps", 32, "LPs per worker")
 		gvt      = flag.String("gvt", "mattern", "GVT algorithm: barrier | mattern | ca | samadi")
+		syncF    = flag.String("sync", "timewarp", "engine synchronization: timewarp (optimistic) | nullmsg | window (conservative)")
 		comm     = flag.String("comm", "dedicated", "comm-thread mode: dedicated | combined | shared")
 		scenario = flag.String("scenario", "comp", "workload: comp | comm | mixed")
 		mix      = flag.String("mix", "10,15", "mixed model X,Y percentages")
@@ -67,7 +70,18 @@ func main() {
 	case "samadi":
 		kind = core.GVTSamadi
 	default:
-		fail("unknown -gvt %q", *gvt)
+		fail("unknown -gvt %q (want barrier | mattern | ca | samadi)", *gvt)
+	}
+	conservativeRun := false
+	var syncKind conservative.SyncKind
+	switch *syncF {
+	case "timewarp":
+	case "nullmsg", "cmb":
+		conservativeRun, syncKind = true, conservative.SyncNullMsg
+	case "window":
+		conservativeRun, syncKind = true, conservative.SyncWindow
+	default:
+		fail("unknown -sync %q (want timewarp | nullmsg | window)", *syncF)
 	}
 	var cm core.CommMode
 	switch *comm {
@@ -107,6 +121,24 @@ func main() {
 		}
 	default:
 		fail("unknown -scenario %q", *scenario)
+	}
+
+	if conservativeRun {
+		// The conservative engine never speculates, so the Time Warp
+		// resilience knobs have nothing to attach to. Reject them instead
+		// of silently ignoring what the user asked for.
+		if *faults != "" {
+			fail("-faults is a Time Warp feature; the conservative engine (-sync %s) does not support fault injection", *syncF)
+		}
+		if *balPol != "" {
+			fail("-balance is a Time Warp feature; the conservative engine (-sync %s) does not support load balancing", *syncF)
+		}
+		if *watchdog != 0 {
+			fail("-watchdog guards GVT liveness; the conservative engine (-sync %s) has no GVT rounds to watch", *syncF)
+		}
+		runConservative(syncKind, top, params, *scenario, *end, *seed, *queue,
+			*traceTo, *reportTo, *capN, *every, *seqCheck)
+		return
 	}
 
 	cfg := core.Config{
@@ -219,6 +251,88 @@ func main() {
 		fmt.Printf("\nsequential oracle: %d events, checksum %x\n", ref.Processed, ref.Checksum)
 		if ref.Checksum == r.CommitChecksum && ref.Processed == r.Workers.Committed {
 			fmt.Println("oracle check: OK — parallel run committed the identical event stream")
+		} else {
+			fmt.Println("oracle check: MISMATCH — this is an engine bug")
+			os.Exit(1)
+		}
+	}
+}
+
+// runConservative executes the PHOLD workload on the conservative engine
+// (null messages or moving window) and mirrors the Time Warp path's
+// outputs: summary line, optional trace/report files, oracle check.
+func runConservative(sync conservative.SyncKind, top cluster.Topology, params phold.Params,
+	scenario string, end float64, seed uint64, queue string,
+	traceTo, reportTo string, capN, every int, seqCheck bool) {
+	la := params
+	la.Defaults()
+	cfg := conservative.Config{
+		Topology:  top,
+		Sync:      sync,
+		Lookahead: vtime.Time(la.Lookahead),
+		EndTime:   vtime.Time(end),
+		Seed:      seed,
+		QueueKind: queue,
+		Model:     phold.New(params),
+	}
+	if err := func() error { c := cfg; c.Defaults(); return c.Validate() }(); err != nil {
+		fail("%v", err)
+	}
+	var traceFile *os.File
+	if traceTo != "" {
+		f, err := os.Create(traceTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		traceFile = f
+		cfg.Trace = tracepkg.NewWriter(f)
+	}
+	if reportTo != "" {
+		cfg.Metrics = &metrics.Recorder{MaxSamples: capN, Every: every}
+	}
+
+	eng := conservative.New(cfg)
+	r, err := eng.Run()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("phold: %d nodes x %d workers x %d LPs, conservative/%v, lookahead %v, %s scenario\n",
+		top.Nodes, top.WorkersPerNode, top.LPsPerWorker, sync, cfg.Lookahead, scenario)
+	fmt.Println(r)
+	fmt.Printf("conservative: %d null messages, %d sync rounds\n", r.NullMessages, r.SyncRounds)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Flush(); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+		t := cfg.Trace
+		fmt.Printf("trace: wrote v%d trace to %s (%d commits, %d rounds, %d/%d mpi send/recv)\n",
+			tracepkg.Version, traceTo, t.Commits, t.Rounds, t.MPISends, t.MPIRecvs)
+	}
+	if reportTo != "" {
+		rep := eng.Report(r)
+		rep.Config.Label = fmt.Sprintf("phold/%s", scenario)
+		f, err := os.Create(reportTo)
+		if err != nil {
+			fail("report: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fail("report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("report: %v", err)
+		}
+		fmt.Printf("report: wrote %s (%d round samples, stride %d)\n",
+			reportTo, len(rep.Rounds), rep.SampleStride)
+	}
+	if seqCheck {
+		ref := seq.New(cfg.Model, top.TotalLPs(), cfg.EndTime, cfg.Seed).Run()
+		fmt.Printf("\nsequential oracle: %d events, checksum %x\n", ref.Processed, ref.Checksum)
+		if ref.Checksum == r.CommitChecksum && ref.Processed == r.Workers.Committed {
+			fmt.Println("oracle check: OK — conservative run committed the identical event stream")
 		} else {
 			fmt.Println("oracle check: MISMATCH — this is an engine bug")
 			os.Exit(1)

@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -25,7 +27,7 @@ import (
 )
 
 // Schema identifies the -json document layout.
-const Schema = "cagvt.tracestat/2"
+const Schema = "cagvt.tracestat/3"
 
 // timeBucket is one virtual-time slice of a timeline.
 type timeBucket struct {
@@ -156,21 +158,50 @@ type perLPSpread struct {
 	Mean float64 `json:"mean"`
 }
 
+// nodeUtilization is one node's row of the utilization analysis: the
+// fraction of observation intervals (between consecutive Round records)
+// in which the node committed at least one event. A conservative node
+// blocked waiting for a null-message promise or the window edge shows a
+// low utilization; Time Warp nodes stay busy but may be undone later.
+type nodeUtilization struct {
+	Node         int     `json:"node"`
+	ActiveRounds int64   `json:"active_rounds"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// utilizationAnalysis is the desynchronization picture: per-node useful
+// work plus the roughness of the cluster's virtual-time horizon. At each
+// Round record the per-node commit frontiers (highest committed
+// timestamp so far) are sampled; width is max-min across nodes and
+// stddev the per-round standard deviation, both averaged over rounds. A
+// smooth horizon (small width) means the nodes advance in lockstep —
+// the signature of the window protocol; null messages let the horizon
+// fray up to the lookahead chain.
+type utilizationAnalysis struct {
+	Rounds            int64             `json:"rounds"`
+	Nodes             []nodeUtilization `json:"nodes"`
+	MinUtilization    float64           `json:"min_utilization"`
+	MeanUtilization   float64           `json:"mean_utilization"`
+	MeanHorizonWidth  float64           `json:"mean_horizon_width"`
+	MeanHorizonStddev float64           `json:"mean_horizon_stddev"`
+}
+
 // analysis is the whole -json document.
 type analysis struct {
-	Schema         string             `json:"schema"`
-	TraceVersion   int                `json:"trace_version"`
-	Commits        int64              `json:"commits"`
-	MaxT           float64            `json:"max_t"`
-	CommitTimeline []timeBucket       `json:"commit_timeline"`
-	PerLP          *perLPSpread       `json:"per_lp,omitempty"`
-	Rounds         []roundPoint       `json:"efficiency_timeline"`
-	SwitchPoints   []switchPoint      `json:"switch_points"`
-	Rollbacks      rollbackAnalysis   `json:"rollbacks"`
-	MPI            []nodeBandwidth    `json:"mpi_bandwidth"`
-	Phases         []workerPhases     `json:"phase_breakdown"`
-	Faults         *faultAnalysis     `json:"faults,omitempty"`
-	Imbalance      *imbalanceAnalysis `json:"imbalance,omitempty"`
+	Schema         string               `json:"schema"`
+	TraceVersion   int                  `json:"trace_version"`
+	Commits        int64                `json:"commits"`
+	MaxT           float64              `json:"max_t"`
+	CommitTimeline []timeBucket         `json:"commit_timeline"`
+	PerLP          *perLPSpread         `json:"per_lp,omitempty"`
+	Rounds         []roundPoint         `json:"efficiency_timeline"`
+	SwitchPoints   []switchPoint        `json:"switch_points"`
+	Rollbacks      rollbackAnalysis     `json:"rollbacks"`
+	MPI            []nodeBandwidth      `json:"mpi_bandwidth"`
+	Phases         []workerPhases       `json:"phase_breakdown"`
+	Faults         *faultAnalysis       `json:"faults,omitempty"`
+	Imbalance      *imbalanceAnalysis   `json:"imbalance,omitempty"`
+	Utilization    *utilizationAnalysis `json:"utilization,omitempty"`
 }
 
 // phaseState tracks one worker's open phase interval while scanning.
@@ -209,6 +240,26 @@ func main() {
 	}
 	defer f.Close()
 
+	a, err := analyze(f, *buckets)
+	if err != nil {
+		// The reader's errors carry the byte offset of the failure.
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(a); err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	render(a)
+}
+
+// analyze reads one binary trace and assembles the full -json document.
+func analyze(f io.Reader, buckets int) (*analysis, error) {
 	var (
 		commits    []trace.Commit
 		rounds     []trace.Round
@@ -226,7 +277,7 @@ func main() {
 			maxAt = at
 		}
 	}
-	err = r.ForEach(trace.Visitor{
+	err := r.ForEach(trace.Visitor{
 		Commit: func(c trace.Commit) { commits = append(commits, c) },
 		Round: func(rd trace.Round) {
 			marks = append(marks, imbMark{kind: markRound, idx: len(rounds), at: len(commits)})
@@ -261,24 +312,14 @@ func main() {
 		},
 	})
 	if err != nil {
-		// The reader's errors carry the byte offset of the failure.
-		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
 	version, _ := r.Version()
 
-	a := build(version, *buckets, commits, rounds, rollbacks, sends, faults, phases, maxAt)
+	a := build(version, buckets, commits, rounds, rollbacks, sends, faults, phases, maxAt)
 	a.Imbalance = buildImbalance(commits, rounds, migrations, marks, sends)
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", " ")
-		if err := enc.Encode(a); err != nil {
-			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	render(a)
+	a.Utilization = buildUtilization(commits, rounds, migrations, marks, sends)
+	return a, nil
 }
 
 // addUntil closes the worker's open phase interval at time at.
@@ -622,6 +663,132 @@ func buildImbalance(commits []trace.Commit, rounds []trace.Round,
 	return a
 }
 
+// buildUtilization replays the committed stream against the Round
+// records to measure desynchronization: how often each node does useful
+// work between observations, and how ragged the cluster's virtual-time
+// horizon is. Node inference and live LP placement follow
+// buildImbalance. Returns nil for single-node traces or traces without
+// Round records — there is nothing to desynchronize from.
+func buildUtilization(commits []trace.Commit, rounds []trace.Round,
+	migrations []trace.Migration, marks []imbMark, sends []trace.MPISend) *utilizationAnalysis {
+
+	maxNode := 0
+	for _, m := range sends {
+		if int(m.Src) > maxNode {
+			maxNode = int(m.Src)
+		}
+		if int(m.Dst) > maxNode {
+			maxNode = int(m.Dst)
+		}
+	}
+	for _, mg := range migrations {
+		if int(mg.SrcNode) > maxNode {
+			maxNode = int(mg.SrcNode)
+		}
+		if int(mg.DstNode) > maxNode {
+			maxNode = int(mg.DstNode)
+		}
+	}
+	nodes := maxNode + 1
+	if nodes < 2 || len(commits) == 0 || len(rounds) == 0 {
+		return nil
+	}
+	maxLP := 0
+	for _, c := range commits {
+		if int(c.LP) > maxLP {
+			maxLP = int(c.LP)
+		}
+	}
+	for _, mg := range migrations {
+		if int(mg.LP) > maxLP {
+			maxLP = int(mg.LP)
+		}
+	}
+	lpsPerNode := (maxLP + nodes) / nodes
+	home := func(lp uint32) int {
+		n := int(lp) / lpsPerNode
+		if n >= nodes {
+			n = nodes - 1
+		}
+		return n
+	}
+
+	var (
+		loc      = map[uint32]int{} // only LPs moved off their home node
+		active   = make([]bool, nodes)
+		activeCt = make([]int64, nodes)
+		frontier = make([]float64, nodes)
+		roundsN  int64
+		widthSum float64
+		sdSum    float64
+	)
+	attribute := func(c trace.Commit) {
+		n, moved := loc[c.LP]
+		if !moved {
+			n = home(c.LP)
+		}
+		active[n] = true
+		if c.T > frontier[n] {
+			frontier[n] = c.T
+		}
+	}
+	ci := 0
+	for _, mk := range marks {
+		for ; ci < mk.at; ci++ {
+			attribute(commits[ci])
+		}
+		switch mk.kind {
+		case markRound:
+			roundsN++
+			for n := range active {
+				if active[n] {
+					activeCt[n]++
+				}
+				active[n] = false
+			}
+			lo, hi, sum := frontier[0], frontier[0], 0.0
+			for _, f := range frontier {
+				if f < lo {
+					lo = f
+				}
+				if f > hi {
+					hi = f
+				}
+				sum += f
+			}
+			widthSum += hi - lo
+			mean := sum / float64(nodes)
+			varSum := 0.0
+			for _, f := range frontier {
+				varSum += (f - mean) * (f - mean)
+			}
+			sdSum += math.Sqrt(varSum / float64(nodes))
+		case markMigration:
+			loc[migrations[mk.idx].LP] = int(migrations[mk.idx].DstNode)
+		}
+	}
+	// Commits after the final Round record fall outside the observation
+	// window and are ignored, keeping every node's denominator the
+	// number of Round records.
+
+	a := &utilizationAnalysis{
+		Rounds:            roundsN,
+		Nodes:             make([]nodeUtilization, 0, nodes),
+		MinUtilization:    1,
+		MeanHorizonWidth:  widthSum / float64(roundsN),
+		MeanHorizonStddev: sdSum / float64(roundsN),
+	}
+	for n := 0; n < nodes; n++ {
+		u := float64(activeCt[n]) / float64(roundsN)
+		a.Nodes = append(a.Nodes, nodeUtilization{Node: n, ActiveRounds: activeCt[n], Utilization: u})
+		if u < a.MinUtilization {
+			a.MinUtilization = u
+		}
+		a.MeanUtilization += u / float64(nodes)
+	}
+	return a
+}
+
 // render prints the human-readable report.
 func render(a *analysis) {
 	fmt.Printf("trace: format v%d, %d committed events, %d GVT rounds, virtual time span [0, %.4g]\n",
@@ -736,6 +903,18 @@ func render(a *analysis) {
 		} else {
 			fmt.Println("  migrations: none")
 		}
+	}
+
+	if a.Utilization != nil {
+		ut := a.Utilization
+		fmt.Printf("\nper-node utilization over %d observation rounds (min %.1f%%, mean %.1f%%):\n",
+			ut.Rounds, 100*ut.MinUtilization, 100*ut.MeanUtilization)
+		fmt.Println("  node  active-rounds  utilization")
+		for _, n := range ut.Nodes {
+			fmt.Printf("  %4d  %13d  %10.1f%%\n", n.Node, n.ActiveRounds, 100*n.Utilization)
+		}
+		fmt.Printf("  horizon roughness: mean width %.4g, mean stddev %.4g (virtual time)\n",
+			ut.MeanHorizonWidth, ut.MeanHorizonStddev)
 	}
 
 	if len(a.Phases) > 0 {

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/event"
 	"repro/internal/sim"
@@ -181,4 +182,15 @@ func (c CostModel) Scaled(f float64) CostModel {
 	c.MigratePerEvent = scale(c.MigratePerEvent)
 	c.MigrateInstall = scale(c.MigrateInstall)
 	return c
+}
+
+// NearSquareGrid factors n into the most-square w×h with w >= h, for
+// grid-structured models (pcs, epidemic) laid over a topology's LPs.
+func NearSquareGrid(n int) (w, h int) {
+	for d := int(math.Sqrt(float64(n))); d >= 1; d-- {
+		if n%d == 0 {
+			return n / d, d
+		}
+	}
+	return n, 1
 }

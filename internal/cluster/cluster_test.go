@@ -130,3 +130,15 @@ func TestKNLDefaultsPositive(t *testing.T) {
 		}
 	}
 }
+
+func TestNearSquareGrid(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 12, 32, 128, 1024, 97} {
+		w, h := NearSquareGrid(n)
+		if w*h != n || w < h || h < 1 {
+			t.Fatalf("grid(%d) = %dx%d", n, w, h)
+		}
+	}
+	if w, h := NearSquareGrid(128); w != 16 || h != 8 {
+		t.Fatalf("grid(128) = %dx%d, want 16x8", w, h)
+	}
+}

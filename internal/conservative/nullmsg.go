@@ -1,0 +1,152 @@
+package conservative
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// CMB-style null-message synchronization.
+//
+// Within a node, workers read each other's live floors directly (the
+// kernel is cooperative, so reads are consistent): worker v cannot send
+// worker w anything below floorLive(v) + lookahead. Across nodes, the
+// comm roles exchange null messages carrying EOT ("earliest output
+// time") promises: node s will never again send an event stamped below
+// EOT. Promises are computed as (local floors ∧ inbound promises) +
+// lookahead, min'ed with anything already queued in the outbox, and
+// ratchet monotonically — each exchange raises the bound by at least one
+// lookahead, which is the protocol's deadlock-freedom argument. Floors
+// beyond the end time clamp to infinity (those events are never
+// processed, so they can never generate sends), which caps the null
+// traffic needed to shut the run down.
+
+// safeBound computes the stamp bound below which this worker may safely
+// process: no event with a smaller stamp can ever arrive.
+func (w *worker) safeBound() vtime.Time {
+	e := w.eng
+	safe := vtime.Inf
+	for _, c := range w.node.chanIn { // self entry is pinned to Inf
+		if c < safe {
+			safe = c
+		}
+	}
+	for _, v := range w.node.workers {
+		if v == w {
+			continue
+		}
+		if f := e.horizonFloor(v.floorLive()); f != vtime.Inf && f+e.la < safe {
+			safe = f + e.la
+		}
+	}
+	return safe
+}
+
+// runNullmsg is the worker side of the protocol.
+func (w *worker) runNullmsg(p *sim.Proc) {
+	n := w.node
+	for {
+		worked := w.drainInbox(p)
+		safe := w.safeBound()
+		if w.processBatch(p, safe) {
+			worked = true
+		}
+		if worked {
+			w.setPhase(p, trace.PhaseProcessing)
+			continue
+		}
+		// Nothing processable: done for good, or blocked on a promise.
+		if w.eng.horizonFloor(w.floorLive()) == vtime.Inf && w.safeBound() > w.eng.end {
+			return
+		}
+		w.setPhase(p, trace.PhaseIdle)
+		w.st.IdleTime += n.cost.IdlePoll
+		p.Advance(n.cost.IdlePoll)
+	}
+}
+
+// eotPromise computes the EOT bound this node can currently promise its
+// peers. Once every local worker has exited the node will never send
+// again, unconditionally.
+func (n *node) eotPromise() vtime.Time {
+	e := n.eng
+	if n.workersExited == len(n.workers) {
+		return vtime.Inf
+	}
+	b := vtime.Inf
+	for _, w := range n.workers {
+		if f := e.horizonFloor(w.floorLive()); f < b {
+			b = f
+		}
+	}
+	for s, c := range n.chanIn {
+		if s == n.id {
+			continue
+		}
+		if f := e.horizonFloor(c); f < b {
+			b = f
+		}
+	}
+	eot := vtime.Inf
+	if b != vtime.Inf {
+		eot = b + e.la
+	}
+	// Events already stamped and queued for transmission bound the
+	// promise directly (cooperative kernel: a zero-cost peek, so no
+	// simulated lock acquisition).
+	for _, ev := range n.outbox {
+		if ev.Stamp.T < eot {
+			eot = ev.Stamp.T
+		}
+	}
+	return eot
+}
+
+// sendNulls pushes a fresh EOT promise to every peer whose last promise
+// it improves. The promise shares the event tag, so FIFO delivery
+// guarantees every event sent before it arrives first.
+func (n *node) sendNulls(p *sim.Proc) bool {
+	top := &n.eng.cfg.Topology
+	if top.Nodes == 1 {
+		return false
+	}
+	eot := n.eotPromise()
+	tr := n.eng.cfg.Trace
+	sent := false
+	for dst := 0; dst < top.Nodes; dst++ {
+		if dst == n.id || eot <= n.lastEOT[dst] {
+			continue
+		}
+		n.lastEOT[dst] = eot
+		n.rank.Send(p, dst, tagEvents, nullWireSize, nullMsg{EOT: eot})
+		n.eng.nullMsgs++
+		sent = true
+		if tr != nil {
+			tr.MPISend(trace.MPISend{
+				Src: uint16(n.id), Dst: uint16(dst), Bytes: nullWireSize,
+				AtNanos: int64(p.Now()),
+			})
+		}
+	}
+	return sent
+}
+
+// commNullmsg is the comm-role side of the protocol: pump events both
+// ways and keep the promises flowing until every local worker is done,
+// then sign off with a final infinite promise so peers can finish too.
+func (n *node) commNullmsg(p *sim.Proc) {
+	for n.workersExited < len(n.workers) {
+		worked := n.flushEvents(p, pumpBudget)
+		if n.recvInbound(p, pumpBudget) {
+			worked = true
+		}
+		if n.sendNulls(p) {
+			worked = true
+		}
+		if !worked {
+			p.Advance(n.cost.IdlePoll)
+		}
+	}
+	n.flushEvents(p, 0)
+	n.sendNulls(p)
+}

@@ -12,9 +12,13 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/conservative"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
+	"repro/internal/models/epidemic"
+	"repro/internal/models/pcs"
+	"repro/internal/models/tandem"
 	"repro/internal/phold"
 	"repro/internal/stats"
 	"repro/internal/vtime"
@@ -47,6 +51,12 @@ type Options struct {
 	// load-balancing policy (see balance.Names) unless the experiment
 	// pins its own per-series policy.
 	BalancePolicy string
+
+	// Sync filters the cross-paradigm experiments (crossover, matrix) to
+	// one synchronization flavor: "" runs everything, "timewarp" only the
+	// optimistic series, "nullmsg" or "window" only that conservative
+	// protocol. Experiments without conservative series ignore it.
+	Sync string
 
 	// Reports, when non-nil, collects one telemetry run report per engine
 	// execution (with per-round time series sampled at SampleCap points).
@@ -91,6 +101,7 @@ type Cell struct {
 	GVTRounds   int64   `json:"gvt_rounds"`
 	BarrierWait float64 `json:"barrier_wait_s"`       // virtual seconds summed over workers
 	Migrations  int64   `json:"migrations,omitempty"` // LPs moved by the balancer
+	NullMsgs    int64   `json:"null_msgs,omitempty"`  // conservative CMB null messages
 	Failed      bool    `json:"failed,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
@@ -107,6 +118,7 @@ func cellOf(r *stats.Run) Cell {
 		GVTRounds:   r.GVTRounds,
 		BarrierWait: r.Workers.BarrierWait.Seconds(),
 		Migrations:  r.Migrations,
+		NullMsgs:    r.NullMessages,
 	}
 }
 
@@ -142,7 +154,8 @@ const (
 	WorkloadMixed                 // X-Y alternating model (paper §6)
 )
 
-// runSpec is one engine execution.
+// runSpec is one engine execution. It must stay comparable (the
+// two-pass parallel executor keys on it), so every field is a scalar.
 type runSpec struct {
 	nodes       int
 	gvt         core.GVTKind
@@ -156,6 +169,10 @@ type runSpec struct {
 	queueKind   string
 	checkpoint  int    // >0: state-saving interval override
 	balance     string // non-empty: LP load-balancing policy override
+
+	modelName string // "" | "phold": PHOLD; "pcs" | "epidemic" | "tandem"
+	engine    string // "" : optimistic Time Warp; "conservative"
+	sync      string // conservative protocol: "nullmsg" | "window"
 }
 
 // model builds the PHOLD parameters for a spec.
@@ -189,6 +206,38 @@ func (s runSpec) model(opt Options, top cluster.Topology) core.ModelFactory {
 	return phold.New(p)
 }
 
+// workloadModel builds the spec's model factory and reports the model's
+// declared lookahead (the conservative safety bound).
+func (s runSpec) workloadModel(opt Options, top cluster.Topology) (core.ModelFactory, vtime.Time) {
+	switch s.modelName {
+	case "pcs":
+		gw, gh := cluster.NearSquareGrid(top.TotalLPs())
+		return pcs.New(pcs.Params{GridW: gw, GridH: gh}), pcs.Lookahead
+	case "epidemic":
+		gw, gh := cluster.NearSquareGrid(top.TotalLPs())
+		return epidemic.New(epidemic.Params{GridW: gw, GridH: gh}), epidemic.Lookahead
+	case "tandem":
+		return tandem.New(tandem.Params{}), vtime.Time(tandem.Params{}.Lookahead())
+	default: // "" | "phold"
+		p := phold.Params{}
+		p.Defaults()
+		return s.model(opt, top), vtime.Time(p.Lookahead)
+	}
+}
+
+// syncEnabled reports whether a series with the given engine and sync
+// protocol passes the Options.Sync filter.
+func (o Options) syncEnabled(engine, sync string) bool {
+	switch o.Sync {
+	case "":
+		return true
+	case "timewarp":
+		return engine != "conservative"
+	default:
+		return engine == "conservative" && sync == o.Sync
+	}
+}
+
 // execute runs one spec and returns its cell. A failed run (engine error,
 // invariant panic, invalid fault scenario) yields a Failed cell instead of
 // tearing down the sweep — the remaining cells still get measured.
@@ -220,6 +269,9 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 		WorkersPerNode: opt.WorkersPerNode,
 		LPsPerWorker:   opt.LPsPerWorker,
 	}
+	if s.engine == "conservative" {
+		return s.runConservative(opt, top, w)
+	}
 	interval := s.interval
 	if opt.GVTInterval > 0 {
 		interval = opt.GVTInterval
@@ -232,6 +284,7 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 	if s.balance != "" {
 		balance = s.balance
 	}
+	factory, _ := s.workloadModel(opt, top)
 	cfg := core.Config{
 		Topology:           top,
 		GVT:                s.gvt,
@@ -243,7 +296,7 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 		QueueKind:          s.queueKind,
 		CheckpointInterval: s.checkpoint,
 		Balance:            balance,
-		Model:              s.model(opt, top),
+		Model:              factory,
 	}
 	if opt.FaultScenario != "" {
 		plan, ferr := fabric.Scenario(opt.FaultScenario, top.Nodes)
@@ -273,6 +326,63 @@ func (s runSpec) run(opt Options, w io.Writer) (cell Cell, err error) {
 			s.nodes, s.gvt, s.comm, s.workload, r.EventRate(), 100*r.Efficiency(), r.Workers.Rollbacks)
 	}
 	return cellOf(r), nil
+}
+
+// runConservative executes one conservative-engine cell. Faults and
+// balancing are optimistic-only machinery; a global scenario turns the
+// cell into a Failed one instead of silently running without it.
+func (s runSpec) runConservative(opt Options, top cluster.Topology, w io.Writer) (Cell, error) {
+	if opt.FaultScenario != "" && opt.FaultScenario != "none" {
+		return Cell{}, fmt.Errorf("harness: the conservative engine does not support fault scenarios (got %q)", opt.FaultScenario)
+	}
+	if opt.BalancePolicy != "" || s.balance != "" {
+		return Cell{}, fmt.Errorf("harness: the conservative engine does not support load balancing")
+	}
+	var sync conservative.SyncKind
+	switch s.sync {
+	case "", "nullmsg":
+		sync = conservative.SyncNullMsg
+	case "window":
+		sync = conservative.SyncWindow
+	default:
+		return Cell{}, fmt.Errorf("harness: unknown conservative sync %q", s.sync)
+	}
+	factory, la := s.workloadModel(opt, top)
+	cfg := conservative.Config{
+		Topology:  top,
+		Sync:      sync,
+		Lookahead: la,
+		EndTime:   opt.EndTime,
+		Seed:      opt.Seed,
+		QueueKind: s.queueKind,
+		Model:     factory,
+	}
+	if opt.Reports != nil {
+		cfg.Metrics = &metrics.Recorder{MaxSamples: opt.SampleCap}
+	}
+	eng := conservative.New(cfg)
+	r, err := eng.Run()
+	if err != nil {
+		return Cell{}, fmt.Errorf("harness: run %+v failed: %w", s, err)
+	}
+	if opt.Reports != nil {
+		rep := eng.Report(r)
+		rep.Config.Label = fmt.Sprintf("%dn/conservative/%v/%s", s.nodes, sync, s.workloadLabel())
+		opt.Reports.Add(rep)
+	}
+	if opt.Verbose && w != nil {
+		fmt.Fprintf(w, "  [%d nodes conservative/%v %s] rate=%.4g nulls=%d\n",
+			s.nodes, sync, s.workloadLabel(), r.EventRate(), r.NullMessages)
+	}
+	return cellOf(r), nil
+}
+
+// workloadLabel names the spec's model for labels and verbose lines.
+func (s runSpec) workloadLabel() string {
+	if s.modelName == "" {
+		return "phold"
+	}
+	return s.modelName
 }
 
 // sweep runs one curve across the node counts.
@@ -316,6 +426,8 @@ func Registry() []Experiment {
 		{ID: "checkpoint", Title: "Ablation: state-saving interval", Run: ablCheckpoint},
 		{ID: "samadi", Title: "Ablation: Samadi ack-based GVT vs the paper's algorithms", Run: ablSamadi},
 		{ID: "rebalance", Title: "Dynamic load balancing under a straggler node", Run: ablRebalance},
+		{ID: "crossover", Title: "Optimistic vs conservative engines, PHOLD", Run: crossover},
+		{ID: "matrix", Title: "Cross-paradigm scenario matrix: 4 models x 6 engine configs", Run: matrix},
 	}
 }
 
@@ -715,6 +827,70 @@ func ablRebalance(opt Options, w io.Writer) Table {
 				workload: WorkloadComp, interval: 4, balance: pol,
 			}),
 		})
+	}
+	return t
+}
+
+// crossover races the optimistic engine against both conservative
+// protocols on the same PHOLD workload and committed event stream.
+func crossover(opt Options, w io.Writer) Table {
+	t := Table{
+		ID:     "crossover",
+		Title:  "Optimistic (Time Warp/Mattern) vs conservative (nullmsg, window), computation-dominated PHOLD",
+		Paper:  "Engine extension (not in the paper): all three engines commit the identical oracle stream; the conservative engines trade rollback risk for blocking, so their relative rate tracks how much safe work the 0.1 lookahead exposes per round.",
+		XLabel: "nodes", XVals: nodeLabels(opt),
+	}
+	for _, c := range []struct {
+		label string
+		spec  runSpec
+	}{
+		{"Time Warp/Mattern", runSpec{gvt: core.GVTMattern, comm: core.CommDedicated, workload: WorkloadComp, interval: 4}},
+		{"Conservative/nullmsg", runSpec{engine: "conservative", sync: "nullmsg", workload: WorkloadComp}},
+		{"Conservative/window", runSpec{engine: "conservative", sync: "window", workload: WorkloadComp}},
+	} {
+		if !opt.syncEnabled(c.spec.engine, c.spec.sync) {
+			continue
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: sweep(opt, w, c.spec)})
+	}
+	return t
+}
+
+// matrix sweeps the full cross-paradigm grid: every model under every
+// engine configuration, at the largest node count.
+func matrix(opt Options, w io.Writer) Table {
+	models := []string{"phold", "pcs", "epidemic", "tandem"}
+	t := Table{
+		ID:     "matrix",
+		Title:  "Cross-paradigm scenario matrix: {phold, pcs, epidemic, tandem} x {Time Warp x 4 GVT algorithms, conservative x 2 protocols}",
+		Paper:  "Engine extension (not in the paper): one deterministic grid over both paradigms. Every cell of a column commits the same oracle event stream, so the rate differences are pure synchronization cost.",
+		XLabel: "model", XVals: models,
+	}
+	n := opt.NodeCounts[len(opt.NodeCounts)-1]
+	for _, c := range []struct {
+		label  string
+		engine string
+		sync   string
+		gvt    core.GVTKind
+	}{
+		{"TW/Barrier", "", "", core.GVTBarrier},
+		{"TW/Mattern", "", "", core.GVTMattern},
+		{"TW/CA-GVT", "", "", core.GVTControlled},
+		{"TW/Samadi", "", "", core.GVTSamadi},
+		{"Cons/nullmsg", "conservative", "nullmsg", 0},
+		{"Cons/window", "conservative", "window", 0},
+	} {
+		if !opt.syncEnabled(c.engine, c.sync) {
+			continue
+		}
+		var cells []Cell
+		for _, m := range models {
+			cells = append(cells, runSpec{
+				nodes: n, modelName: m, engine: c.engine, sync: c.sync,
+				gvt: c.gvt, comm: core.CommDedicated, interval: 4,
+			}.execute(opt, w))
+		}
+		t.Series = append(t.Series, Series{Label: c.label, Cells: cells})
 	}
 	return t
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestRegistryCompleteAndUnique(t *testing.T) {
 	want := []string{
 		"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"efficiency", "disparity", "interval", "threshold", "epg", "shared", "queue",
-		"checkpoint", "samadi", "rebalance",
+		"checkpoint", "samadi", "rebalance", "crossover", "matrix",
 	}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -262,5 +263,104 @@ func TestBalancePolicyOption(t *testing.T) {
 	c = runSpec{nodes: 2, gvt: core.GVTControlled, workload: WorkloadComp, interval: 10}.execute(opt, nil)
 	if !c.Failed || !strings.Contains(c.Error, "bogus") {
 		t.Fatalf("bogus policy cell = %+v, want failure naming the policy", c)
+	}
+}
+
+func TestCrossoverExperiment(t *testing.T) {
+	// All three engines must measure successfully and commit the identical
+	// event stream — the cross-paradigm parity the engines are tested for.
+	tab := crossover(miniOptions(), nil)
+	if len(tab.Series) != 3 {
+		t.Fatalf("crossover has %d series, want 3", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		for i, c := range s.Cells {
+			if c.Failed {
+				t.Fatalf("series %s cell %d failed: %s", s.Label, i, c.Error)
+			}
+			if want := tab.Series[0].Cells[i].Committed; c.Committed != want {
+				t.Errorf("series %s cell %d committed %d, Time Warp committed %d — stream diverged",
+					s.Label, i, c.Committed, want)
+			}
+		}
+	}
+	// The 2-node null-message cell must have exchanged real null traffic.
+	for _, s := range tab.Series {
+		if s.Label == "Conservative/nullmsg" && s.Cells[1].NullMsgs == 0 {
+			t.Error("2-node nullmsg cell exchanged no null messages")
+		}
+		if strings.HasPrefix(s.Label, "Conservative") {
+			for i, c := range s.Cells {
+				if c.Rollbacks != 0 || c.Efficiency != 1 {
+					t.Errorf("series %s cell %d: rollbacks=%d eff=%v, conservative must never speculate",
+						s.Label, i, c.Rollbacks, c.Efficiency)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixExperiment(t *testing.T) {
+	// The full grid: every model column commits one stream across all six
+	// engine configurations.
+	opt := miniOptions()
+	opt.NodeCounts = []int{2}
+	tab := matrix(opt, nil)
+	if len(tab.Series) != 6 {
+		t.Fatalf("matrix has %d series, want 6", len(tab.Series))
+	}
+	if len(tab.XVals) != 4 {
+		t.Fatalf("matrix has %d models, want 4", len(tab.XVals))
+	}
+	for _, s := range tab.Series {
+		if len(s.Cells) != 4 {
+			t.Fatalf("series %s has %d cells, want 4", s.Label, len(s.Cells))
+		}
+		for i, c := range s.Cells {
+			if c.Failed {
+				t.Fatalf("series %s model %s failed: %s", s.Label, tab.XVals[i], c.Error)
+			}
+			if want := tab.Series[0].Cells[i].Committed; c.Committed != want {
+				t.Errorf("series %s model %s committed %d, want %d — stream diverged",
+					s.Label, tab.XVals[i], c.Committed, want)
+			}
+		}
+	}
+}
+
+func TestSyncFilter(t *testing.T) {
+	opt := miniOptions()
+	opt.Sync = "window"
+	tab := crossover(opt, nil)
+	if len(tab.Series) != 1 || tab.Series[0].Label != "Conservative/window" {
+		t.Fatalf("window filter kept %+v", tab.Series)
+	}
+	opt.Sync = "timewarp"
+	opt.NodeCounts = []int{1}
+	if tab := matrix(opt, nil); len(tab.Series) != 4 {
+		t.Fatalf("timewarp filter kept %d matrix series, want 4", len(tab.Series))
+	}
+}
+
+func TestMatrixParallelDeterminism(t *testing.T) {
+	// The cross-paradigm grid through the two-pass executor: -jobs N must
+	// be byte-identical to the sequential path, conservative cells included.
+	e, ok := Find("matrix")
+	if !ok {
+		t.Fatal("matrix not registered")
+	}
+	opt := miniOptions()
+	opt.NodeCounts = []int{2}
+	opt.Verbose = true
+	var seqOut, parOut bytes.Buffer
+	opt.Jobs = 1
+	seq := e.Execute(opt, &seqOut)
+	opt.Jobs = 4
+	par := e.Execute(opt, &parOut)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel matrix table differs from sequential")
+	}
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("parallel output differs:\nseq: %q\npar: %q", seqOut.String(), parOut.String())
 	}
 }

@@ -14,20 +14,28 @@ const ReportSchema = "cagvt.run-report/1"
 type RunConfig struct {
 	// Label is free-form caller context ("fig8/CA-GVT/8 nodes",
 	// "phold/mixed"); the engine leaves it empty.
-	Label              string  `json:"label,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Engine identifies the simulation paradigm: "" (Time Warp, the
+	// original engine — omitted so optimistic reports keep their byte
+	// layout) or "conservative". Sync is the conservative sync protocol
+	// ("nullmsg" | "window") and Lookahead its safety bound; both are
+	// empty/zero for Time Warp runs.
+	Engine             string  `json:"engine,omitempty"`
+	Sync               string  `json:"sync,omitempty"`
+	Lookahead          float64 `json:"lookahead,omitempty"`
 	Nodes              int     `json:"nodes"`
 	WorkersPerNode     int     `json:"workers_per_node"`
 	LPsPerWorker       int     `json:"lps_per_worker"`
-	GVT                string  `json:"gvt"`
+	GVT                string  `json:"gvt,omitempty"`
 	Comm               string  `json:"comm"`
-	GVTInterval        int     `json:"gvt_interval"`
-	CAThreshold        float64 `json:"ca_threshold"`
+	GVTInterval        int     `json:"gvt_interval,omitempty"`
+	CAThreshold        float64 `json:"ca_threshold,omitempty"`
 	EndTime            float64 `json:"end_time"`
 	Seed               uint64  `json:"seed"`
 	QueueKind          string  `json:"queue"`
 	BatchSize          int     `json:"batch_size"`
-	CheckpointInterval int     `json:"checkpoint_interval"`
-	MaxUncommitted     int     `json:"max_uncommitted"`
+	CheckpointInterval int     `json:"checkpoint_interval,omitempty"`
+	MaxUncommitted     int     `json:"max_uncommitted,omitempty"`
 	// Faults names the fault scenario the run executed under ("" for a
 	// perfect fabric; omitted from the JSON so fault-free reports are
 	// byte-identical to pre-fault-injection ones).
@@ -41,30 +49,33 @@ type RunConfig struct {
 // numbers stats.Run carries, in JSON-stable form: virtual times as
 // nanosecond integers, the checksum as a hex string).
 type RunStats struct {
-	WallNanos      int64   `json:"wall_ns"`
-	Committed      int64   `json:"committed"`
-	Processed      int64   `json:"processed"`
-	RolledBack     int64   `json:"rolled_back"`
-	Rollbacks      int64   `json:"rollbacks"`
-	Stragglers     int64   `json:"stragglers"`
-	AntiRollbacks  int64   `json:"anti_rollbacks"`
-	Efficiency     float64 `json:"efficiency"`
-	EventRate      float64 `json:"event_rate"`
-	GVTRounds      int64   `json:"gvt_rounds"`
-	SyncRounds     int64   `json:"sync_rounds"`
-	FinalGVT       float64 `json:"final_gvt"`
-	Disparity      float64 `json:"disparity"`
-	SentLocal      int64   `json:"sent_local"`
-	SentRegional   int64   `json:"sent_regional"`
-	SentRemote     int64   `json:"sent_remote"`
-	AntiSent       int64   `json:"anti_sent"`
-	Annihilated    int64   `json:"annihilated"`
-	BarrierWaitNs  int64   `json:"barrier_wait_ns"`
-	IdleNs         int64   `json:"idle_ns"`
-	GVTTimeNs      int64   `json:"gvt_time_ns"`
-	MPIMessages    int64   `json:"mpi_messages"`
-	MPIBytes       int64   `json:"mpi_bytes"`
-	CommitChecksum string  `json:"commit_checksum"`
+	WallNanos     int64   `json:"wall_ns"`
+	Committed     int64   `json:"committed"`
+	Processed     int64   `json:"processed"`
+	RolledBack    int64   `json:"rolled_back"`
+	Rollbacks     int64   `json:"rollbacks"`
+	Stragglers    int64   `json:"stragglers"`
+	AntiRollbacks int64   `json:"anti_rollbacks"`
+	Efficiency    float64 `json:"efficiency"`
+	EventRate     float64 `json:"event_rate"`
+	GVTRounds     int64   `json:"gvt_rounds"`
+	SyncRounds    int64   `json:"sync_rounds"`
+	FinalGVT      float64 `json:"final_gvt"`
+	Disparity     float64 `json:"disparity"`
+	SentLocal     int64   `json:"sent_local"`
+	SentRegional  int64   `json:"sent_regional"`
+	SentRemote    int64   `json:"sent_remote"`
+	AntiSent      int64   `json:"anti_sent"`
+	Annihilated   int64   `json:"annihilated"`
+	BarrierWaitNs int64   `json:"barrier_wait_ns"`
+	IdleNs        int64   `json:"idle_ns"`
+	GVTTimeNs     int64   `json:"gvt_time_ns"`
+	MPIMessages   int64   `json:"mpi_messages"`
+	MPIBytes      int64   `json:"mpi_bytes"`
+	// NullMessages counts conservative null-message traffic; omitted when
+	// zero so Time Warp reports keep their byte layout.
+	NullMessages   int64  `json:"null_messages,omitempty"`
+	CommitChecksum string `json:"commit_checksum"`
 
 	// Robustness counters (see stats.Run); omitted when zero so
 	// fault-free reports keep their pre-fault-injection byte layout.

@@ -23,6 +23,11 @@ const (
 	EvTravel uint16 = 2
 )
 
+// Lookahead is the model's minimum cross-region delay: every travel
+// event adds this constant floor to its exponential draw, so a
+// conservative engine may safely use it as the lookahead bound.
+const Lookahead = 0.2
+
 // Params configures the epidemic.
 type Params struct {
 	GridW, GridH int // grid dimensions; GridW*GridH must equal the LP count
@@ -143,7 +148,7 @@ func (m *Model) step(ctx core.Context) {
 		dst := m.neighbour(ctx)
 		var buf [4]byte
 		binary.LittleEndian.PutUint32(buf[:], uint32(1+ctx.RNG().Intn(3)))
-		ctx.Send(dst, 0.2+ctx.RNG().Exp(0.3), EvTravel, buf[:])
+		ctx.Send(dst, Lookahead+ctx.RNG().Exp(0.3), EvTravel, buf[:])
 	}
 }
 

@@ -123,10 +123,15 @@ func (m *Model) OnEvent(ctx core.Context, ev *event.Event) {
 	}
 }
 
+// Lookahead is the model's minimum cross-cell delay: every handoff adds
+// this constant floor to its exponential draw, so a conservative engine
+// may safely use it as the lookahead bound.
+const Lookahead = 0.01
+
 // progress schedules either the call's completion here or its handoff.
 func (m *Model) progress(ctx core.Context) {
 	remaining := ctx.RNG().Exp(m.p.HoldMean) + 0.01
-	toHandoff := ctx.RNG().Exp(m.p.HandoffMean) + 0.01
+	toHandoff := ctx.RNG().Exp(m.p.HandoffMean) + Lookahead
 	if toHandoff < remaining {
 		ctx.Send(m.self, toHandoff, EvRelease, nil)
 		ctx.Send(m.neighbour(ctx), toHandoff, EvHandoff, nil)

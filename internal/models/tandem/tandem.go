@@ -29,6 +29,15 @@ type Params struct {
 	HopDelay     float64 // transfer time between stages
 }
 
+// Lookahead returns the model's minimum cross-stage delay — exactly the
+// hop delay, since stage-to-stage transfers use it verbatim — which a
+// conservative engine may use as its lookahead bound.
+func (p Params) Lookahead() float64 {
+	q := p
+	q.Defaults()
+	return q.HopDelay
+}
+
 // Defaults fills zero fields (ρ = ServiceMean/Interarrival = 0.7).
 func (p *Params) Defaults() {
 	if p.Interarrival == 0 {

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -49,10 +48,10 @@ type Job struct {
 	report   []byte      // canonical report JSON, set in StateDone
 	errMsg   string
 
-	eng        *core.Engine // non-nil while the engine may still be cancelled
-	cancelled  bool         // cancellation requested
-	deadline   bool         // the wall-clock deadline fired; cancellation is a failure
-	panicStack string       // recorded stack when the engine panicked
+	eng        cancellable // non-nil while the engine may still be cancelled
+	cancelled  bool        // cancellation requested
+	deadline   bool        // the wall-clock deadline fired; cancellation is a failure
+	panicStack string      // recorded stack when the engine panicked
 
 	submitted time.Time
 	started   time.Time
@@ -214,10 +213,14 @@ func (j *Job) beginRunning() bool {
 	return true
 }
 
+// cancellable is the slice of an engine the job lifecycle needs: both
+// the optimistic and the conservative engine satisfy it.
+type cancellable interface{ Cancel() }
+
 // attachEngine exposes a constructed engine to cancellation. If a
 // cancel arrived between beginRunning and construction, the engine is
 // cancelled immediately (the kernel honours pre-run cancellation).
-func (j *Job) attachEngine(e *core.Engine) {
+func (j *Job) attachEngine(e cancellable) {
 	j.mu.Lock()
 	j.eng = e
 	cancelled := j.cancelled
@@ -238,7 +241,7 @@ func (j *Job) requestCancel() bool {
 		return false
 	}
 	j.cancelled = true
-	var eng *core.Engine
+	var eng cancellable
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.finished = time.Now()

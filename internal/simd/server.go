@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/conservative"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -400,10 +401,6 @@ func (s *Server) runEngine(j *Job) (report []byte, err error) {
 	if testInjectPanic != nil {
 		testInjectPanic(j.spec)
 	}
-	cfg, err := j.spec.BuildConfig()
-	if err != nil {
-		return nil, err
-	}
 	rec := metrics.NewRecorder()
 	// Bridge every GVT round into the live registry before publishing it
 	// to streamers. prev carries the previous round's cumulative values;
@@ -414,16 +411,36 @@ func (s *Server) runEngine(j *Job) (report []byte, err error) {
 		prev = u
 		j.publish(u)
 	}
-	cfg.Metrics = rec
-
-	eng := core.New(cfg)
-	j.attachEngine(eng)
-	s.executions.Add(1)
-	r, err := eng.Run()
-	if err != nil {
-		return nil, err
+	var rep *metrics.Report
+	if j.spec.Engine == "conservative" {
+		cfg, err := j.spec.BuildConservativeConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Metrics = rec
+		eng := conservative.New(cfg)
+		j.attachEngine(eng)
+		s.executions.Add(1)
+		r, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		rep = eng.Report(r)
+	} else {
+		cfg, err := j.spec.BuildConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Metrics = rec
+		eng := core.New(cfg)
+		j.attachEngine(eng)
+		s.executions.Add(1)
+		r, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		rep = eng.Report(r)
 	}
-	rep := eng.Report(r)
 	rep.Config.Label = "simd/" + j.spec.Model
 	return rep.MarshalStable()
 }

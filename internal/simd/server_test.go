@@ -433,3 +433,56 @@ func TestJobLookup(t *testing.T) {
 	}
 	res.Job.Wait(waitCtx(t))
 }
+
+// TestConservativeJob runs a conservative-engine job end to end: it
+// must emit progress, produce a report naming the engine and protocol,
+// and re-execute deterministically to byte-identical bytes.
+func TestConservativeJob(t *testing.T) {
+	s := NewServer(Options{Workers: 2, CacheBytes: -1})
+	defer s.Close()
+	spec := JobSpec{Engine: "conservative", Sync: "window",
+		Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 4, EndTime: 5}
+	var reports [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := res.Job.Wait(waitCtx(t)); st != StateDone {
+			t.Fatalf("run %d: %s (%s)", i, st, res.Job.Err())
+		}
+		if res.Job.Rounds() == 0 {
+			t.Fatalf("run %d: no progress events", i)
+		}
+		data, _ := res.Job.Report()
+		reports = append(reports, data)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatal("conservative reports are not deterministic")
+	}
+	for _, want := range []string{`"engine":"conservative"`, `"sync":"window"`, `"lookahead":0.1`} {
+		if !bytes.Contains(reports[0], []byte(want)) {
+			t.Fatalf("report missing %s:\n%s", want, reports[0])
+		}
+	}
+}
+
+// TestConservativeCancel cancels a running conservative job through the
+// server path, exercising the engine-agnostic cancellation plumbing.
+func TestConservativeCancel(t *testing.T) {
+	s := NewServer(Options{Workers: 1})
+	defer s.Close()
+	spec := JobSpec{Engine: "conservative",
+		Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 8, EndTime: 5e4}
+	res, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, res.Job)
+	if err := s.Cancel(res.Job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Job.Wait(waitCtx(t)); st != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/cluster"
+	"repro/internal/conservative"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
@@ -31,6 +32,17 @@ import (
 // fields produce byte-identical run reports, and any field change that
 // survives canonicalization changes the result.
 type JobSpec struct {
+	// Engine selects the synchronization paradigm: timewarp (default) |
+	// conservative. An empty Engine folds to conservative when Sync names
+	// a conservative protocol, timewarp otherwise.
+	Engine string `json:"engine,omitempty"`
+	// Sync is the conservative protocol: nullmsg (default; "cmb" is an
+	// accepted alias) | window. Rejected for the timewarp engine.
+	Sync string `json:"sync,omitempty"`
+	// Lookahead is the conservative safety bound; 0 means the model's
+	// declared lookahead. Rejected for the timewarp engine.
+	Lookahead float64 `json:"lookahead,omitempty"`
+
 	// Model selects the workload: phold (default) | pcs | epidemic | tandem.
 	Model string `json:"model,omitempty"`
 	// Scenario is the PHOLD workload shape: comp (default) | comm | mixed.
@@ -152,14 +164,58 @@ func (s JobSpec) Canonical() (JobSpec, error) {
 		return c, fmt.Errorf("simd: %d total LPs exceeds the service cap of %d", top.TotalLPs(), maxTotalLPs)
 	}
 
-	switch c.GVT = norm(c.GVT); c.GVT {
+	switch c.Engine = norm(c.Engine); c.Engine {
 	case "":
-		c.GVT = "mattern"
-	case "ca", "cagvt":
-		c.GVT = "ca-gvt"
-	case "barrier", "mattern", "ca-gvt", "samadi":
+		// Naming a conservative protocol is an implicit engine choice.
+		switch norm(c.Sync) {
+		case "nullmsg", "cmb", "window":
+			c.Engine = "conservative"
+		default:
+			c.Engine = "timewarp"
+		}
+	case "timewarp", "conservative":
 	default:
-		return c, fmt.Errorf("simd: unknown gvt %q (want barrier | mattern | ca-gvt | samadi)", c.GVT)
+		return c, fmt.Errorf("simd: unknown engine %q (want timewarp | conservative)", c.Engine)
+	}
+	if c.Engine == "conservative" {
+		switch c.Sync = norm(c.Sync); c.Sync {
+		case "", "cmb":
+			c.Sync = "nullmsg"
+		case "nullmsg", "window":
+		default:
+			return c, fmt.Errorf("simd: unknown sync %q (want nullmsg | window)", c.Sync)
+		}
+		if c.Lookahead == 0 {
+			c.Lookahead = c.defaultLookahead()
+		}
+		if c.Lookahead <= 0 || math.IsNaN(c.Lookahead) || math.IsInf(c.Lookahead, 0) {
+			return c, fmt.Errorf("simd: lookahead must be positive and finite, got %v", c.Lookahead)
+		}
+	} else {
+		if v := norm(c.Sync); v != "" {
+			return c, fmt.Errorf("simd: sync %q is a conservative-engine field; set engine to conservative or drop it", v)
+		}
+		c.Sync = ""
+		if c.Lookahead != 0 {
+			return c, fmt.Errorf("simd: lookahead is a conservative-engine field; set engine to conservative or drop it")
+		}
+	}
+
+	if c.Engine == "timewarp" {
+		switch c.GVT = norm(c.GVT); c.GVT {
+		case "":
+			c.GVT = "mattern"
+		case "ca", "cagvt":
+			c.GVT = "ca-gvt"
+		case "barrier", "mattern", "ca-gvt", "samadi":
+		default:
+			return c, fmt.Errorf("simd: unknown gvt %q (want barrier | mattern | ca-gvt | samadi)", c.GVT)
+		}
+	} else {
+		// A conservative run has no GVT algorithm: the sync protocol is
+		// the whole synchronization story. Clear it (and the GVT knobs
+		// below) so specs differing only in inert fields share a hash.
+		c.GVT = ""
 	}
 	switch c.Comm = norm(c.Comm); c.Comm {
 	case "":
@@ -168,22 +224,30 @@ func (s JobSpec) Canonical() (JobSpec, error) {
 	default:
 		return c, fmt.Errorf("simd: unknown comm %q (want dedicated | combined | shared)", c.Comm)
 	}
-	if c.GVTInterval == 0 {
-		c.GVTInterval = 4
+	if c.Engine == "conservative" && c.Comm != "dedicated" {
+		return c, fmt.Errorf("simd: comm %q is not supported by the conservative engine (only dedicated)", c.Comm)
 	}
-	if c.GVTInterval < 2 {
-		return c, fmt.Errorf("simd: gvt_interval must be >= 2, got %d", c.GVTInterval)
-	}
-	if c.GVT == "ca-gvt" {
-		if c.CAThreshold == 0 {
+	if c.Engine == "timewarp" {
+		if c.GVTInterval == 0 {
+			c.GVTInterval = 4
+		}
+		if c.GVTInterval < 2 {
+			return c, fmt.Errorf("simd: gvt_interval must be >= 2, got %d", c.GVTInterval)
+		}
+		if c.GVT == "ca-gvt" {
+			if c.CAThreshold == 0 {
+				c.CAThreshold = 0.80
+			}
+			if c.CAThreshold < 0 || c.CAThreshold > 1 {
+				return c, fmt.Errorf("simd: ca_threshold must be in [0,1], got %v", c.CAThreshold)
+			}
+		} else {
+			// Inert for non-CA algorithms: pin it so it cannot split the hash.
 			c.CAThreshold = 0.80
 		}
-		if c.CAThreshold < 0 || c.CAThreshold > 1 {
-			return c, fmt.Errorf("simd: ca_threshold must be in [0,1], got %v", c.CAThreshold)
-		}
 	} else {
-		// Inert for non-CA algorithms: pin it so it cannot split the hash.
-		c.CAThreshold = 0.80
+		c.GVTInterval = 0
+		c.CAThreshold = 0
 	}
 
 	if c.EndTime == 0 {
@@ -206,30 +270,39 @@ func (s JobSpec) Canonical() (JobSpec, error) {
 	default:
 		return c, fmt.Errorf("simd: unknown queue %q (want heap | calendar)", c.Queue)
 	}
-	switch c.Pool = norm(c.Pool); c.Pool {
-	case "":
-		c.Pool = "on"
-	case "on", "off", "debug":
-	default:
-		return c, fmt.Errorf("simd: unknown pool %q (want on | off | debug)", c.Pool)
-	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 16
 	}
 	if c.BatchSize < 0 {
 		return c, fmt.Errorf("simd: batch_size must be positive, got %d", c.BatchSize)
 	}
-	if c.CheckpointInterval == 0 {
-		c.CheckpointInterval = 1
-	}
-	if c.CheckpointInterval < 0 {
-		return c, fmt.Errorf("simd: checkpoint_interval must be positive, got %d", c.CheckpointInterval)
-	}
-	if c.MaxUncommitted == 0 {
-		c.MaxUncommitted = 8 * c.LPsPerWorker
-	}
-	if c.MaxUncommitted < 0 {
-		c.MaxUncommitted = -1 // all negatives mean the same thing: unbounded
+	if c.Engine == "timewarp" {
+		switch c.Pool = norm(c.Pool); c.Pool {
+		case "":
+			c.Pool = "on"
+		case "on", "off", "debug":
+		default:
+			return c, fmt.Errorf("simd: unknown pool %q (want on | off | debug)", c.Pool)
+		}
+		if c.CheckpointInterval == 0 {
+			c.CheckpointInterval = 1
+		}
+		if c.CheckpointInterval < 0 {
+			return c, fmt.Errorf("simd: checkpoint_interval must be positive, got %d", c.CheckpointInterval)
+		}
+		if c.MaxUncommitted == 0 {
+			c.MaxUncommitted = 8 * c.LPsPerWorker
+		}
+		if c.MaxUncommitted < 0 {
+			c.MaxUncommitted = -1 // all negatives mean the same thing: unbounded
+		}
+	} else {
+		// Event pooling, checkpoints and throttling are rollback
+		// machinery; a conservative run has none. Clear them so they
+		// cannot split the hash.
+		c.Pool = ""
+		c.CheckpointInterval = 0
+		c.MaxUncommitted = 0
 	}
 
 	switch c.Faults = norm(c.Faults); c.Faults {
@@ -251,7 +324,38 @@ func (s JobSpec) Canonical() (JobSpec, error) {
 	if c.WatchdogMicros < 0 {
 		return c, fmt.Errorf("simd: watchdog_us must be >= 0, got %d", c.WatchdogMicros)
 	}
+	if c.Engine == "conservative" {
+		// These knobs change recovery semantics, not just performance:
+		// refusing them beats silently ignoring an operator's intent.
+		if c.Faults != "" {
+			return c, fmt.Errorf("simd: fault injection is not supported by the conservative engine")
+		}
+		if c.Balance != "" {
+			return c, fmt.Errorf("simd: load balancing is not supported by the conservative engine")
+		}
+		if c.WatchdogMicros != 0 {
+			return c, fmt.Errorf("simd: the GVT watchdog is not supported by the conservative engine")
+		}
+	}
 	return c, nil
+}
+
+// defaultLookahead returns the model's declared lookahead for an
+// already-canonical spec: the minimum virtual delay of any cross-worker
+// send, as exported by each model package.
+func (c JobSpec) defaultLookahead() float64 {
+	switch c.Model {
+	case "pcs":
+		return pcs.Lookahead
+	case "epidemic":
+		return epidemic.Lookahead
+	case "tandem":
+		return tandem.Params{}.Lookahead()
+	default: // phold
+		p := phold.Params{}
+		p.Defaults()
+		return float64(p.Lookahead)
+	}
 }
 
 // Hash canonicalizes the spec and returns its content address: the
@@ -285,6 +389,9 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 	c, err := s.Canonical()
 	if err != nil {
 		return core.Config{}, err
+	}
+	if c.Engine != "timewarp" {
+		return core.Config{}, fmt.Errorf("simd: BuildConfig on a %s-engine spec (use BuildConservativeConfig)", c.Engine)
 	}
 	top := cluster.Topology{Nodes: c.Nodes, WorkersPerNode: c.WorkersPerNode, LPsPerWorker: c.LPsPerWorker}
 
@@ -355,6 +462,45 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 	return cfg, nil
 }
 
+// BuildConservativeConfig turns the spec into a conservative engine
+// configuration. The spec is canonicalized first; the returned config
+// passes conservative validation.
+func (s JobSpec) BuildConservativeConfig() (conservative.Config, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return conservative.Config{}, err
+	}
+	if c.Engine != "conservative" {
+		return conservative.Config{}, fmt.Errorf("simd: BuildConservativeConfig on a %s-engine spec (use BuildConfig)", c.Engine)
+	}
+	top := cluster.Topology{Nodes: c.Nodes, WorkersPerNode: c.WorkersPerNode, LPsPerWorker: c.LPsPerWorker}
+	var sync conservative.SyncKind
+	switch c.Sync {
+	case "nullmsg":
+		sync = conservative.SyncNullMsg
+	case "window":
+		sync = conservative.SyncWindow
+	}
+	model, err := c.modelFactory(top)
+	if err != nil {
+		return conservative.Config{}, err
+	}
+	cfg := conservative.Config{
+		Topology:  top,
+		Sync:      sync,
+		Lookahead: vtime.Time(c.Lookahead),
+		EndTime:   vtime.Time(c.EndTime),
+		Seed:      c.Seed,
+		QueueKind: c.Queue,
+		BatchSize: c.BatchSize,
+		Model:     model,
+	}
+	if err := func() error { v := cfg; v.Defaults(); return v.Validate() }(); err != nil {
+		return conservative.Config{}, err
+	}
+	return cfg, nil
+}
+
 // modelFactory builds the model for an already-canonical spec.
 func (c JobSpec) modelFactory(top cluster.Topology) (core.ModelFactory, error) {
 	switch c.Model {
@@ -378,24 +524,13 @@ func (c JobSpec) modelFactory(top cluster.Topology) (core.ModelFactory, error) {
 		}
 		return phold.New(params), nil
 	case "pcs":
-		w, h := nearSquareGrid(top.TotalLPs())
+		w, h := cluster.NearSquareGrid(top.TotalLPs())
 		return pcs.New(pcs.Params{GridW: w, GridH: h}), nil
 	case "epidemic":
-		w, h := nearSquareGrid(top.TotalLPs())
+		w, h := cluster.NearSquareGrid(top.TotalLPs())
 		return epidemic.New(epidemic.Params{GridW: w, GridH: h}), nil
 	case "tandem":
 		return tandem.New(tandem.Params{}), nil
 	}
 	return nil, fmt.Errorf("simd: unknown model %q", c.Model)
-}
-
-// nearSquareGrid factors n into the most-square w×h with w >= h, for
-// the grid-structured models.
-func nearSquareGrid(n int) (w, h int) {
-	for d := int(math.Sqrt(float64(n))); d >= 1; d-- {
-		if n%d == 0 {
-			return n / d, d
-		}
-	}
-	return n, 1
 }

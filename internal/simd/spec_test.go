@@ -126,6 +126,8 @@ func TestCanonicalIdempotent(t *testing.T) {
 		{},
 		{Model: "EPIDEMIC", GVT: "CA", Faults: "NONE", Balance: "Static"},
 		{Scenario: "mixed", MaxUncommitted: -5},
+		{Engine: "Conservative", Sync: "CMB"},
+		{Model: "tandem", Sync: "window"},
 	}
 	for _, s := range specs {
 		once, err := s.Canonical()
@@ -209,15 +211,112 @@ func TestBuildConfigAllModels(t *testing.T) {
 	}
 }
 
-func TestNearSquareGrid(t *testing.T) {
-	for _, n := range []int{1, 2, 4, 12, 32, 128, 1024, 97} {
-		w, h := nearSquareGrid(n)
-		if w*h != n || w < h || h < 1 {
-			t.Fatalf("grid(%d) = %dx%d", n, w, h)
+// TestEngineCanonicalization pins the engine/sync folding rules: naming
+// a conservative protocol implies the engine, aliases collapse, and the
+// model's declared lookahead is the default bound.
+func TestEngineCanonicalization(t *testing.T) {
+	c, err := (JobSpec{Sync: "window"}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != "conservative" || c.Sync != "window" {
+		t.Fatalf("sync window folded to engine=%q sync=%q", c.Engine, c.Sync)
+	}
+	c, err = (JobSpec{Engine: "conservative"}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sync != "nullmsg" {
+		t.Fatalf("default sync %q, want nullmsg", c.Sync)
+	}
+	if c.Lookahead != 0.1 { // phold's declared lookahead
+		t.Fatalf("default lookahead %v, want 0.1", c.Lookahead)
+	}
+	if c.GVT != "" || c.GVTInterval != 0 || c.CAThreshold != 0 ||
+		c.Pool != "" || c.CheckpointInterval != 0 || c.MaxUncommitted != 0 {
+		t.Fatalf("rollback-machinery fields not cleared: %+v", c)
+	}
+	for model, la := range map[string]float64{"pcs": 0.01, "epidemic": 0.2, "tandem": 0.05} {
+		c, err := (JobSpec{Engine: "conservative", Model: model}).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Lookahead != la {
+			t.Errorf("%s default lookahead %v, want %v", model, c.Lookahead, la)
 		}
 	}
-	if w, h := nearSquareGrid(128); w != 16 || h != 8 {
-		t.Fatalf("grid(128) = %dx%d, want 16x8", w, h)
+	if mustHash(t, JobSpec{Sync: "cmb"}) != mustHash(t, JobSpec{Engine: "conservative", Sync: "nullmsg"}) {
+		t.Fatal(`alias "cmb" hashes differently from nullmsg`)
+	}
+	if mustHash(t, JobSpec{Engine: "timewarp"}) != mustHash(t, JobSpec{}) {
+		t.Fatal("explicit timewarp hashes differently from the default")
+	}
+	if mustHash(t, JobSpec{Engine: "conservative", Lookahead: 0.1}) != mustHash(t, JobSpec{Engine: "conservative"}) {
+		t.Fatal("stating the default lookahead split the hash")
+	}
+	if mustHash(t, JobSpec{Engine: "conservative", Pool: "", CheckpointInterval: 0}) !=
+		mustHash(t, JobSpec{Engine: "conservative"}) {
+		t.Fatal("inert rollback knobs split the conservative hash")
+	}
+}
+
+// TestConservativeTwinHashesDiffer is the content-address contract for
+// the cross-paradigm grid: a conservative spec and its Time Warp twin
+// are distinct results, as are the two conservative protocols and any
+// lookahead change.
+func TestConservativeTwinHashesDiffer(t *testing.T) {
+	tw := mustHash(t, JobSpec{})
+	nm := mustHash(t, JobSpec{Engine: "conservative"})
+	wd := mustHash(t, JobSpec{Engine: "conservative", Sync: "window"})
+	la := mustHash(t, JobSpec{Engine: "conservative", Lookahead: 0.05})
+	seen := map[string]string{"timewarp": tw, "nullmsg": nm, "window": wd, "lookahead": la}
+	for a, ha := range seen {
+		for b, hb := range seen {
+			if a != b && ha == hb {
+				t.Fatalf("%s and %s share a content address", a, b)
+			}
+		}
+	}
+}
+
+// TestEngineRejects enumerates invalid engine/sync combinations.
+func TestEngineRejects(t *testing.T) {
+	bad := map[string]JobSpec{
+		"engine":        {Engine: "psychic"},
+		"sync":          {Engine: "conservative", Sync: "vibes"},
+		"tw-sync":       {Engine: "timewarp", Sync: "nullmsg"},
+		"tw-lookahead":  {Lookahead: 0.5},
+		"neg-lookahead": {Engine: "conservative", Lookahead: -1},
+		"cons-comm":     {Engine: "conservative", Comm: "shared"},
+		"cons-faults":   {Engine: "conservative", Faults: "drop"},
+		"cons-balance":  {Engine: "conservative", Balance: "greedy"},
+		"cons-watchdog": {Engine: "conservative", WatchdogMicros: 100},
+	}
+	for name, s := range bad {
+		if _, err := s.Canonical(); err == nil {
+			t.Errorf("%s: invalid spec %+v accepted", name, s)
+		}
+	}
+}
+
+// TestBuildConservativeConfig: every model builds a valid conservative
+// config, and the two Build entry points refuse the other engine's spec.
+func TestBuildConservativeConfig(t *testing.T) {
+	for _, model := range []string{"phold", "pcs", "epidemic", "tandem"} {
+		spec := JobSpec{Engine: "conservative", Model: model, Nodes: 2, WorkersPerNode: 2, LPsPerWorker: 8, EndTime: 5}
+		cfg, err := spec.BuildConservativeConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if cfg.Model == nil || cfg.Lookahead <= 0 {
+			t.Fatalf("%s: config %+v", model, cfg)
+		}
+	}
+	if _, err := (JobSpec{Engine: "conservative"}).BuildConfig(); err == nil {
+		t.Fatal("BuildConfig accepted a conservative spec")
+	}
+	if _, err := (JobSpec{}).BuildConservativeConfig(); err == nil {
+		t.Fatal("BuildConservativeConfig accepted a timewarp spec")
 	}
 }
 

@@ -114,6 +114,11 @@ type Run struct {
 	// event stream, comparable against the sequential oracle.
 	CommitChecksum uint64
 
+	// NullMessages counts CMB null messages exchanged by the conservative
+	// engine's null-message protocol (zero for Time Warp and window-sync
+	// runs). Excluded from String() so optimistic summaries are unchanged.
+	NullMessages int64
+
 	// Robustness counters, all zero in fault-free runs: the reliable
 	// transport's retransmission activity, the fabric's injected faults
 	// by kind, and the GVT liveness watchdog's interventions. They are
